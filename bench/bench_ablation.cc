@@ -1,0 +1,101 @@
+// Ablation studies beyond the paper's figures:
+//  1. memoization hit rates of the Algorithm-1 estimator during the greedy
+//     pace search (why Fig. 15's speedup happens),
+//  2. partial decomposition (Sec. 4.3) on vs off,
+//  3. sensitivity to the per-execution startup cost constant (the knob that
+//     models the Spark job-scheduling overhead [47]).
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Ablations — memo hit rate, partial decomposition, startup cost",
+              cfg);
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+
+  {
+    std::vector<QueryPlan> queries = AllTpchQueries(db.catalog);
+    std::vector<double> rel(queries.size(), 0.1);
+    OptimizedPlan plan = OptimizePlan(Approach::kIShareNoUnshare, queries,
+                                      db.catalog, rel, cfg.MakeOptions());
+    double hit_rate =
+        100.0 * static_cast<double>(plan.memo_hits) /
+        static_cast<double>(std::max<int64_t>(1, plan.memo_hits +
+                                                     plan.memo_misses));
+    std::printf("\n== Memoization during pace search (22 queries, rel 0.1) "
+                "==\n");
+    std::printf("memo hits=%lld misses=%lld hit_rate=%.1f%% opt_time=%.2fs\n",
+                static_cast<long long>(plan.memo_hits),
+                static_cast<long long>(plan.memo_misses), hit_rate,
+                plan.optimization_seconds);
+  }
+
+  {
+    std::printf("\n== Partial decomposition (Sec. 4.3) on vs off ==\n");
+    std::vector<QueryPlan> queries = DecompositionWorkload(db.catalog);
+    std::vector<double> rel(queries.size(), 0.1);
+    TextTable t({"partial", "est_total_work", "opt_s", "splits_adopted",
+                 "partial_splits"});
+    for (bool partial : {false, true}) {
+      ApproachOptions opts = cfg.MakeOptions();
+      opts.enable_partial = partial;
+      OptimizedPlan plan =
+          OptimizePlan(Approach::kIShare, queries, db.catalog, rel, opts);
+      t.AddRow({partial ? "on" : "off",
+                TextTable::Num(plan.est_cost.total_work, 0),
+                TextTable::Num(plan.optimization_seconds, 2),
+                std::to_string(plan.decompose_stats.splits_adopted),
+                std::to_string(plan.decompose_stats.partial_splits_adopted)});
+    }
+    t.Print();
+  }
+
+  {
+    // Recurring-query constraint calibration (Sec. 2.1): aim the optimizer
+    // at measured rather than estimated batch final work.
+    std::printf("\n== Constraint calibration from prior executions ==\n");
+    std::vector<QueryPlan> queries = SharingFriendlyQueries(db.catalog);
+    std::vector<double> rel(queries.size(), 0.2);
+    TextTable t({"calibrated", "total_exec_s", "missed_mean_%",
+                 "missed_max_%"});
+    for (bool calibrated : {false, true}) {
+      Experiment ex(&db.catalog, &db.source, queries, rel, cfg.MakeOptions(),
+                    calibrated);
+      ExperimentResult r = ex.Run(Approach::kIShare);
+      t.AddRow({calibrated ? "yes" : "no",
+                TextTable::Num(r.total_seconds, 3),
+                TextTable::Num(r.MeanMissedRel(), 2),
+                TextTable::Num(r.MaxMissedRel(), 2)});
+    }
+    t.Print();
+  }
+
+  {
+    std::printf("\n== Startup-cost sensitivity (pair Q5 + Q8, rel 0.2) ==\n");
+    TextTable t({"startup_cost", "iShare_total_work", "max_pace_chosen"});
+    for (double sc : {0.0, 8.0, 32.0, 128.0}) {
+      std::vector<QueryPlan> queries = {TpchQuery(db.catalog, 5, 0),
+                                        TpchQuery(db.catalog, 8, 1)};
+      std::vector<double> rel = {0.2, 0.2};
+      ApproachOptions opts = cfg.MakeOptions();
+      opts.exec.startup_cost = sc;
+      OptimizedPlan plan =
+          OptimizePlan(Approach::kIShare, queries, db.catalog, rel, opts);
+      int max_pace = 0;
+      for (int p : plan.paces) max_pace = std::max(max_pace, p);
+      t.AddRow({TextTable::Num(sc, 0),
+                TextTable::Num(plan.est_cost.total_work, 0),
+                std::to_string(max_pace)});
+    }
+    t.Print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

@@ -1,0 +1,91 @@
+// Reproduces Fig. 9 and the "Random" half of Table 1: all 22 TPC-H queries
+// with relative final work constraints drawn randomly from
+// {1.0, 0.5, 0.2, 0.1}, three constraint sets, four approaches. Reports
+// mean/min/max total execution time per approach and missed latencies.
+
+#include "bench_util.h"
+#include "ishare/common/rng.h"
+
+namespace ishare {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Fig. 9 — random relative constraints (22 TPC-H queries)", cfg);
+
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries = AllTpchQueries(db.catalog);
+
+  const double kLevels[] = {1.0, 0.5, 0.2, 0.1};
+  const int kSets = cfg.quick ? 2 : 3;
+
+  struct Agg {
+    std::vector<double> total_secs;
+    std::vector<double> total_work;
+    std::vector<ExperimentResult> runs;
+  };
+  std::map<Approach, Agg> agg;
+
+  Rng rng(1234);
+  for (int set = 0; set < kSets; ++set) {
+    std::vector<double> rel(queries.size());
+    std::string desc;
+    for (size_t q = 0; q < rel.size(); ++q) {
+      rel[q] = kLevels[rng.UniformInt(0, 3)];
+      desc += TextTable::Num(rel[q], 1) + " ";
+    }
+    std::printf("\nconstraint set %d: %s\n", set, desc.c_str());
+    Experiment ex(&db.catalog, &db.source, queries, rel, cfg.MakeOptions());
+    for (Approach a : StandardApproaches()) {
+      ExperimentResult r = ex.Run(a);
+      agg[a].total_secs.push_back(r.total_seconds);
+      agg[a].total_work.push_back(r.total_work);
+      agg[a].runs.push_back(r);
+      std::printf("  %-20s total=%.3fs work=%.0f\n", ApproachName(a),
+                  r.total_seconds, r.total_work);
+    }
+  }
+
+  std::printf("\n== Fig. 9 — total execution time over %d random sets ==\n",
+              kSets);
+  TextTable t({"approach", "mean_s", "min_s", "max_s", "mean_work",
+               "vs_iShare"});
+  double ishare_mean = 0;
+  for (double s : agg[Approach::kIShare].total_secs) ishare_mean += s;
+  ishare_mean /= kSets;
+  for (Approach a : StandardApproaches()) {
+    const Agg& g = agg[a];
+    double mean = 0, mn = 1e300, mx = 0, mw = 0;
+    for (double s : g.total_secs) {
+      mean += s;
+      mn = std::min(mn, s);
+      mx = std::max(mx, s);
+    }
+    for (double w : g.total_work) mw += w;
+    mean /= kSets;
+    mw /= kSets;
+    t.AddRow({ApproachName(a), TextTable::Num(mean, 3), TextTable::Num(mn, 3),
+              TextTable::Num(mx, 3), TextTable::Num(mw, 0),
+              TextTable::Num(mean > 0 ? ishare_mean / mean * 100 : 0, 1) +
+                  "%"});
+  }
+  t.Print();
+
+  // Table 1 (Random): aggregate missed latencies over all sets.
+  std::vector<ExperimentResult> merged;
+  for (Approach a : StandardApproaches()) {
+    ExperimentResult m;
+    m.approach = a;
+    for (const ExperimentResult& r : agg[a].runs) {
+      m.queries.insert(m.queries.end(), r.queries.begin(), r.queries.end());
+    }
+    merged.push_back(std::move(m));
+  }
+  PrintMissedLatencyTable("Table 1 (Random) — missed latencies", merged);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

@@ -1,0 +1,37 @@
+// Reproduces Fig. 10: the benefit of shared batch execution — total
+// execution time of the MQO shared plan run in one batch, relative to
+// executing each of the 22 TPC-H queries independently in one batch.
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Fig. 10 — batch execution, shared vs separate (22 queries)",
+              cfg);
+
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries = AllTpchQueries(db.catalog);
+  std::vector<double> rel(queries.size(), 1.0);
+  Experiment ex(&db.catalog, &db.source, queries, rel, cfg.MakeOptions());
+
+  double separate = ex.StandaloneBatchTotalSeconds();
+  double shared = ex.SharedBatchTotalSeconds();
+
+  TextTable t({"mode", "total_exec_s", "relative"});
+  t.AddRow({"separate batch (NoShare)", TextTable::Num(separate, 3), "100%"});
+  t.AddRow({"shared batch (MQO plan)", TextTable::Num(shared, 3),
+            TextTable::Num(100.0 * shared / separate, 1) + "%"});
+  t.Print();
+  std::printf("\nshared batch execution saves %.1f%% of the separate "
+              "execution time\n",
+              100.0 * (1.0 - shared / separate));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

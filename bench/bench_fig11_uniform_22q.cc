@@ -1,0 +1,28 @@
+// Reproduces Fig. 11 and part of the "Uniform" half of Table 1: all 22
+// TPC-H queries under uniform relative final work constraints
+// {1.0, 0.5, 0.2, 0.1}, four approaches.
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Fig. 11 — uniform relative constraints (22 TPC-H queries)",
+              cfg);
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries = AllTpchQueries(db.catalog);
+  std::vector<ExperimentResult> all = RunUniformSweep(
+      &db, queries, StandardApproaches(), cfg,
+      "Fig. 11 — total execution time per uniform constraint");
+  PrintMissedLatencyTable(
+      "Table 1 (Uniform, 22 queries) — missed latencies",
+      MergeByApproach(all, StandardApproaches()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

@@ -1,0 +1,30 @@
+// Reproduces Fig. 12 and part of the "Uniform" half of Table 1: the 10
+// sharing-friendly TPC-H queries (Q4, Q5, Q7, Q8, Q9, Q15, Q17, Q18, Q20,
+// Q21) under uniform relative constraints — the setting where Share-Uniform
+// beats the NoShare approaches because absolute constraints are similar.
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader(
+      "Fig. 12 — uniform relative constraints (10 sharing-friendly queries)",
+      cfg);
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries = SharingFriendlyQueries(db.catalog);
+  std::vector<ExperimentResult> all = RunUniformSweep(
+      &db, queries, StandardApproaches(), cfg,
+      "Fig. 12 — total execution time per uniform constraint");
+  PrintMissedLatencyTable(
+      "Table 1 (Uniform, 10 queries) — missed latencies",
+      MergeByApproach(all, StandardApproaches()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

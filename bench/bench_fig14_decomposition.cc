@@ -1,0 +1,50 @@
+// Reproduces Fig. 14 and Table 3: the decomposition experiment. Workload =
+// the 10 sharing-friendly TPC-H queries plus a predicate-perturbed variant
+// of each (Sec. 5.4), uniform relative constraints. Compares the NoShare
+// baselines, Share-Uniform, iShare without the decomposition ("w/o
+// unshare"), full iShare, and the brute-force split search.
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader(
+      "Fig. 14 / Table 3 — decomposition on 10 queries + 10 variants", cfg);
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries = DecompositionWorkload(db.catalog);
+
+  std::vector<Approach> approaches = {
+      Approach::kNoShareUniform, Approach::kNoShareNonuniform,
+      Approach::kShareUniform,   Approach::kIShareNoUnshare,
+      Approach::kIShare,         Approach::kIShareBruteForce};
+  std::vector<ExperimentResult> all =
+      RunUniformSweep(&db, queries, approaches, cfg,
+                      "Fig. 14 — total execution time per uniform constraint");
+  PrintMissedLatencyTable("Table 3 — missed latencies",
+                          MergeByApproach(all, approaches));
+
+  // Decomposition activity summary for the tightest constraint.
+  std::printf("\nsplits adopted at the tightest constraint:\n");
+  for (const ExperimentResult& r : all) {
+    if (r.approach != Approach::kIShare &&
+        r.approach != Approach::kIShareBruteForce) {
+      continue;
+    }
+    std::printf("  %-22s considered=%d adopted=%d (partial=%d) "
+                "partitions_evaluated=%lld\n",
+                ApproachName(r.approach), r.decompose_stats.splits_considered,
+                r.decompose_stats.splits_adopted,
+                r.decompose_stats.partial_splits_adopted,
+                static_cast<long long>(
+                    r.decompose_stats.partitions_evaluated));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

@@ -1,0 +1,54 @@
+// Reproduces Fig. 15: optimization overhead of iShare with and without the
+// memoized cost estimator (Algorithm 1) and of the baselines, over the 22
+// TPC-H queries with a very low relative constraint (0.01), varying the max
+// pace J. Entries exceeding the DNF budget are reported as DNF, as in the
+// paper (whose budget was 30 minutes on a 20-core server; ours defaults to
+// 120 s single-core and is configurable).
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Fig. 15 — optimization overhead vs max pace J", cfg);
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries = AllTpchQueries(db.catalog);
+  std::vector<double> rel(queries.size(), 0.01);
+
+  const double kDnfBudget = cfg.quick ? 10.0 : 120.0;
+  std::vector<int> paces =
+      cfg.quick ? std::vector<int>{10, 25} : std::vector<int>{10, 25, 50, 100};
+
+  TextTable t({"max_pace", "NoShare-Uniform", "NoShare-Nonuniform",
+               "Share-Uniform", "iShare (w/ memo)", "iShare (w/o memo)"});
+  for (int J : paces) {
+    std::vector<std::string> row{std::to_string(J)};
+    auto run = [&](Approach a, bool memo) -> std::string {
+      ApproachOptions opts = cfg.MakeOptions();
+      opts.max_pace = J;
+      opts.memoized_estimator = memo;
+      opts.deadline_seconds = kDnfBudget;
+      OptimizedPlan plan = OptimizePlan(a, queries, db.catalog, rel, opts);
+      if (plan.timed_out) return "DNF";
+      return TextTable::Num(plan.optimization_seconds, 2) + "s";
+    };
+    row.push_back(run(Approach::kNoShareUniform, true));
+    row.push_back(run(Approach::kNoShareNonuniform, true));
+    row.push_back(run(Approach::kShareUniform, true));
+    row.push_back(run(Approach::kIShare, true));
+    row.push_back(run(Approach::kIShare, false));
+    t.AddRow(row);
+    std::printf("J=%d done\n", J);
+  }
+  std::printf("\n== Fig. 15 — optimization time (DNF budget %.0fs) ==\n",
+              kDnfBudget);
+  t.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

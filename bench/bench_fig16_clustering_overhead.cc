@@ -1,0 +1,54 @@
+// Reproduces Fig. 16: running time of the clustering-based subplan
+// decomposition versus brute-force split enumeration as the number of
+// queries sharing the plan grows (brute force explodes with the Bell
+// number of partitions).
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Fig. 16 — clustering vs brute-force decomposition time", cfg);
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+
+  // Grow the workload by adding variant copies of the same sharing-friendly
+  // queries so the shared subplans accumulate more and more queries.
+  static constexpr int kNums[] = {5, 7, 8, 9, 18};
+  int max_n = cfg.quick ? 6 : 10;
+
+  TextTable t({"num_queries", "clustering_s", "clustering_partitions",
+               "bruteforce_s", "bruteforce_partitions"});
+  for (int n = 2; n <= max_n; n += 2) {
+    std::vector<QueryPlan> queries;
+    for (int i = 0; i < n; ++i) {
+      queries.push_back(TpchQuery(db.catalog, kNums[i % 5], i,
+                                  /*variant=*/(i / 5) % 2 == 1));
+    }
+    std::vector<double> rel(queries.size(), 0.1);
+    auto run = [&](bool brute) {
+      ApproachOptions opts = cfg.MakeOptions();
+      opts.deadline_seconds = cfg.quick ? 30.0 : 300.0;
+      return OptimizePlan(brute ? Approach::kIShareBruteForce
+                                : Approach::kIShare,
+                          queries, db.catalog, rel, opts);
+    };
+    OptimizedPlan cl = run(false);
+    OptimizedPlan bf = run(true);
+    t.AddRow({std::to_string(n), TextTable::Num(cl.optimization_seconds, 2),
+              std::to_string(cl.decompose_stats.partitions_evaluated),
+              bf.timed_out ? "DNF"
+                           : TextTable::Num(bf.optimization_seconds, 2),
+              std::to_string(bf.decompose_stats.partitions_evaluated)});
+    std::printf("n=%d done\n", n);
+  }
+  std::printf("\n== Fig. 16 — decomposition optimization time ==\n");
+  t.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

@@ -1,0 +1,56 @@
+// Reproduces Fig. 17: micro-benchmarks on three query pairs with different
+// levels of incrementability. PairA = (Q5, Q8): both incrementable;
+// PairB = (Q7, Q15): Q15 is not amenable to incremental execution;
+// PairC = (Q_A, Q_B) from Fig. 2: both less incrementable. One query's
+// relative constraint is fixed at 1.0 and the other's is varied.
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+void RunPair(TpchDb* db, const std::string& label, QueryPlan fixed,
+             QueryPlan varied, const BenchConfig& cfg) {
+  const std::vector<double> levels =
+      cfg.quick ? std::vector<double>{1.0, 0.1}
+                : std::vector<double>{1.0, 0.5, 0.2, 0.1};
+  std::printf("\n== Fig. 17%s — %s (rel=1.0) + %s (varied) ==\n",
+              label.c_str(), fixed.name.c_str(), varied.name.c_str());
+  TextTable t({"rel_constraint", "approach", "total_exec_s", "total_work",
+               "missed_mean_%"});
+  for (double level : levels) {
+    std::vector<QueryPlan> queries = {fixed, varied};
+    std::vector<double> rel = {1.0, level};
+    Experiment ex(&db->catalog, &db->source, queries, rel, cfg.MakeOptions());
+    for (Approach a : StandardApproaches()) {
+      ExperimentResult r = ex.Run(a);
+      t.AddRow({TextTable::Num(level, 1), ApproachName(a),
+                TextTable::Num(r.total_seconds, 3),
+                TextTable::Num(r.total_work, 0),
+                TextTable::Num(r.MeanMissedRel(), 2)});
+    }
+  }
+  t.Print();
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Fig. 17 — incrementability micro-benchmarks", cfg);
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+
+  // PairA: two incrementable queries.
+  RunPair(&db, "a", TpchQuery(db.catalog, 5, 0), TpchQuery(db.catalog, 8, 1),
+          cfg);
+  // PairB: incrementable Q7 varied against non-incrementable Q15 (fixed).
+  RunPair(&db, "b", TpchQuery(db.catalog, 15, 0), TpchQuery(db.catalog, 7, 1),
+          cfg);
+  // PairC: the paper's Fig. 2 queries.
+  RunPair(&db, "c", PaperQueryA(db.catalog, 0), PaperQueryB(db.catalog, 1),
+          cfg);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

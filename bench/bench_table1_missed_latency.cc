@@ -1,0 +1,66 @@
+// Reproduces Table 1 end to end: missed latencies under random and uniform
+// relative constraints (the random half over three random constraint sets
+// on the 22 TPC-H queries; the uniform half over the uniform sweeps of the
+// 22-query and 10-query workloads combined, as in the paper).
+
+#include "bench_util.h"
+#include "ishare/common/rng.h"
+
+namespace ishare {
+namespace {
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Table 1 — missed latencies, random + uniform constraints",
+              cfg);
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries22 = AllTpchQueries(db.catalog);
+  std::vector<QueryPlan> queries10 = SharingFriendlyQueries(db.catalog);
+
+  const double kLevels[] = {1.0, 0.5, 0.2, 0.1};
+  std::vector<ExperimentResult> random_runs;
+  Rng rng(1234);
+  const int kSets = cfg.quick ? 1 : 3;
+  for (int set = 0; set < kSets; ++set) {
+    std::vector<double> rel(queries22.size());
+    for (double& r : rel) r = kLevels[rng.UniformInt(0, 3)];
+    Experiment ex(&db.catalog, &db.source, queries22, rel, cfg.MakeOptions());
+    for (Approach a : StandardApproaches()) {
+      random_runs.push_back(ex.Run(a));
+    }
+  }
+  PrintMissedLatencyTable("Table 1 — Random",
+                          MergeByApproach(random_runs, StandardApproaches()));
+
+  std::vector<ExperimentResult> uniform_runs;
+  const std::vector<double> levels =
+      cfg.quick ? std::vector<double>{0.2} : std::vector<double>{1.0, 0.5,
+                                                                 0.2, 0.1};
+  for (double level : levels) {
+    {
+      std::vector<double> rel(queries22.size(), level);
+      Experiment ex(&db.catalog, &db.source, queries22, rel,
+                    cfg.MakeOptions());
+      for (Approach a : StandardApproaches()) {
+        uniform_runs.push_back(ex.Run(a));
+      }
+    }
+    {
+      std::vector<double> rel(queries10.size(), level);
+      Experiment ex(&db.catalog, &db.source, queries10, rel,
+                    cfg.MakeOptions());
+      for (Approach a : StandardApproaches()) {
+        uniform_runs.push_back(ex.Run(a));
+      }
+    }
+  }
+  PrintMissedLatencyTable(
+      "Table 1 — Uniform (22-query and 10-query workloads)",
+      MergeByApproach(uniform_runs, StandardApproaches()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

@@ -1,0 +1,136 @@
+#ifndef ISHARE_BENCH_BENCH_UTIL_H_
+#define ISHARE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ishare/harness/experiment.h"
+#include "ishare/harness/report.h"
+#include "ishare/workload/tpch_queries.h"
+
+namespace ishare {
+
+// Command-line knobs shared by every bench binary:
+//   --sf=<double>        TPC-H scale factor (default 0.01)
+//   --max_pace=<int>     J, the pace cap (default 50; paper uses 100)
+//   --seed=<int>         data generator seed
+//   --quick              shrink everything for a fast smoke run
+struct BenchConfig {
+  double sf = 0.01;
+  int max_pace = 50;
+  uint64_t seed = 7;
+  bool quick = false;
+
+  static BenchConfig Parse(int argc, char** argv) {
+    BenchConfig c;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--sf=", 5) == 0) {
+        c.sf = std::atof(a + 5);
+      } else if (std::strncmp(a, "--max_pace=", 11) == 0) {
+        c.max_pace = std::atoi(a + 11);
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        c.seed = std::strtoull(a + 7, nullptr, 10);
+      } else if (std::strcmp(a, "--quick") == 0) {
+        c.quick = true;
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", a);
+      }
+    }
+    if (c.quick) {
+      c.sf = std::min(c.sf, 0.004);
+      c.max_pace = std::min(c.max_pace, 16);
+    }
+    return c;
+  }
+
+  ApproachOptions MakeOptions() const {
+    ApproachOptions o;
+    o.max_pace = max_pace;
+    return o;
+  }
+};
+
+inline const std::vector<Approach>& StandardApproaches() {
+  static const std::vector<Approach> kApproaches = {
+      Approach::kNoShareUniform, Approach::kNoShareNonuniform,
+      Approach::kShareUniform, Approach::kIShare};
+  return kApproaches;
+}
+
+inline void PrintHeader(const char* what, const BenchConfig& c) {
+  std::printf("# %s\n", what);
+  std::printf("# sf=%.4f max_pace=%d seed=%llu%s\n", c.sf, c.max_pace,
+              static_cast<unsigned long long>(c.seed),
+              c.quick ? " (quick)" : "");
+}
+
+// The paper's Table 1/2/3 block: missed latencies per approach.
+inline void PrintMissedLatencyTable(
+    const std::string& title, const std::vector<ExperimentResult>& results) {
+  std::printf("\n== %s ==\n", title.c_str());
+  TextTable t({"approach", "Mean %", "Mean Sec.", "Max %", "Max Sec."});
+  for (const ExperimentResult& r : results) {
+    t.AddRow({ApproachName(r.approach), TextTable::Num(r.MeanMissedRel(), 2),
+              TextTable::Num(r.MeanMissedAbs(), 4),
+              TextTable::Num(r.MaxMissedRel(), 2),
+              TextTable::Num(r.MaxMissedAbs(), 4)});
+  }
+  t.Print();
+}
+
+// Shared driver for Fig. 11 / Fig. 12 / Fig. 14-style sweeps: runs every
+// approach at each uniform relative constraint and prints one row per
+// (constraint, approach). Returns all results for missed-latency tables.
+inline std::vector<ExperimentResult> RunUniformSweep(
+    TpchDb* db, const std::vector<QueryPlan>& queries,
+    const std::vector<Approach>& approaches, const BenchConfig& cfg,
+    const std::string& title) {
+  const std::vector<double> kLevels =
+      cfg.quick ? std::vector<double>{1.0, 0.2}
+                : std::vector<double>{1.0, 0.5, 0.2, 0.1};
+  std::vector<ExperimentResult> all;
+  std::printf("\n== %s ==\n", title.c_str());
+  TextTable t({"rel_constraint", "approach", "total_exec_s", "total_work",
+               "opt_s"});
+  for (double level : kLevels) {
+    std::vector<double> rel(queries.size(), level);
+    Experiment ex(&db->catalog, &db->source, queries, rel,
+                  cfg.MakeOptions());
+    for (Approach a : approaches) {
+      ExperimentResult r = ex.Run(a);
+      t.AddRow({TextTable::Num(level, 1), ApproachName(a),
+                TextTable::Num(r.total_seconds, 3),
+                TextTable::Num(r.total_work, 0),
+                TextTable::Num(r.optimization_seconds, 3)});
+      all.push_back(std::move(r));
+    }
+  }
+  t.Print();
+  return all;
+}
+
+// Merges per-approach results (across constraint levels) for Table 1-style
+// missed-latency aggregation.
+inline std::vector<ExperimentResult> MergeByApproach(
+    const std::vector<ExperimentResult>& results,
+    const std::vector<Approach>& approaches) {
+  std::vector<ExperimentResult> merged;
+  for (Approach a : approaches) {
+    ExperimentResult m;
+    m.approach = a;
+    for (const ExperimentResult& r : results) {
+      if (r.approach != a) continue;
+      m.queries.insert(m.queries.end(), r.queries.begin(), r.queries.end());
+    }
+    merged.push_back(std::move(m));
+  }
+  return merged;
+}
+
+}  // namespace ishare
+
+#endif  // ISHARE_BENCH_BENCH_UTIL_H_

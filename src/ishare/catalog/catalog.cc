@@ -1,0 +1,33 @@
+#include "ishare/catalog/catalog.h"
+
+#include <unordered_set>
+
+namespace ishare {
+
+TableStats ComputeTableStats(const Schema& schema,
+                             const std::vector<Row>& rows) {
+  TableStats stats;
+  stats.row_count = static_cast<double>(rows.size());
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    const Field& f = schema.field(c);
+    ColumnStats cs;
+    cs.numeric = (f.type != DataType::kString);
+    std::unordered_set<uint64_t> distinct;
+    bool first = true;
+    for (const Row& r : rows) {
+      const Value& v = r[c];
+      distinct.insert(v.Hash());
+      if (cs.numeric) {
+        double d = v.AsDouble();
+        if (first || d < cs.min) cs.min = d;
+        if (first || d > cs.max) cs.max = d;
+        first = false;
+      }
+    }
+    cs.ndv = std::max<double>(1.0, static_cast<double>(distinct.size()));
+    stats.columns[f.name] = cs;
+  }
+  return stats;
+}
+
+}  // namespace ishare

@@ -1,0 +1,86 @@
+#ifndef ISHARE_CATALOG_CATALOG_H_
+#define ISHARE_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ishare/common/status.h"
+#include "ishare/types/schema.h"
+
+namespace ishare {
+
+// Statistics for one column; drives selectivity and distinct-count
+// estimation in the cost model. The paper assumes this knowledge comes
+// from historical executions (Sec. 2.1).
+struct ColumnStats {
+  double ndv = 1.0;  // number of distinct values
+  bool numeric = false;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Statistics for one base relation over the trigger window. `row_count` is
+// the estimated total number of tuples that will arrive before the trigger
+// point (the paper's "total estimated tuples for that trigger condition").
+struct TableStats {
+  double row_count = 0.0;
+  std::map<std::string, ColumnStats> columns;
+
+  const ColumnStats* Column(const std::string& name) const {
+    auto it = columns.find(name);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+// Computes exact statistics from a generated dataset. The workload module
+// uses this so the optimizer sees calibrated statistics, mirroring the
+// paper's assumption of recurring-query calibration.
+TableStats ComputeTableStats(const Schema& schema,
+                             const std::vector<Row>& rows);
+
+// Name -> (schema, stats) registry for the base relations.
+class Catalog {
+ public:
+  Status AddTable(const std::string& name, Schema schema, TableStats stats) {
+    if (tables_.count(name) > 0) {
+      return Status::AlreadyExists("table " + name);
+    }
+    tables_[name] = Entry{std::move(schema), std::move(stats)};
+    return Status::OK();
+  }
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  const Schema& GetSchema(const std::string& name) const {
+    auto it = tables_.find(name);
+    CHECK(it != tables_.end()) << "unknown table " << name;
+    return it->second.schema;
+  }
+
+  const TableStats& GetStats(const std::string& name) const {
+    auto it = tables_.find(name);
+    CHECK(it != tables_.end()) << "unknown table " << name;
+    return it->second.stats;
+  }
+
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [name, e] : tables_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  struct Entry {
+    Schema schema;
+    TableStats stats;
+  };
+  std::map<std::string, Entry> tables_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_CATALOG_CATALOG_H_

@@ -1,0 +1,66 @@
+#ifndef ISHARE_COMMON_CHECK_H_
+#define ISHARE_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace ishare::internal_check {
+
+// Accumulates a failure message and aborts the process when destroyed.
+// Used only via the CHECK macros below; invariant violations are programmer
+// errors, so aborting (rather than returning Status) is the right response.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when a DCHECK is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace ishare::internal_check
+
+// CHECK(cond) << "extra context"; aborts with the message when cond is false.
+#define CHECK(cond)                                                     \
+  if (cond) {                                                           \
+  } else /* NOLINT(readability/braces) */                               \
+    ::ishare::internal_check::CheckFailure(__FILE__, __LINE__, #cond)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  if (true) {        \
+  } else /* NOLINT */ \
+    ::ishare::internal_check::NullStream()
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+#endif  // ISHARE_COMMON_CHECK_H_

@@ -1,0 +1,116 @@
+#ifndef ISHARE_COMMON_QUERY_SET_H_
+#define ISHARE_COMMON_QUERY_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ishare/common/check.h"
+
+namespace ishare {
+
+// Identifies a query within one optimization/execution session.
+// Queries are numbered densely from 0; at most kMaxQueries per session.
+using QueryId = int;
+
+// A set of queries, represented as a 64-bit bitvector. This is the
+// SharedDB-style annotation attached to every intermediate tuple and every
+// shared operator: bit q is set iff the tuple/operator is valid for query q.
+class QuerySet {
+ public:
+  static constexpr int kMaxQueries = 64;
+
+  constexpr QuerySet() : bits_(0) {}
+  constexpr explicit QuerySet(uint64_t bits) : bits_(bits) {}
+
+  static QuerySet Single(QueryId q) {
+    CHECK_GE(q, 0);
+    CHECK_LT(q, kMaxQueries);
+    return QuerySet(uint64_t{1} << q);
+  }
+
+  static QuerySet FromIds(const std::vector<QueryId>& ids) {
+    QuerySet s;
+    for (QueryId q : ids) s.Add(q);
+    return s;
+  }
+
+  // All queries in [0, n).
+  static QuerySet FirstN(int n) {
+    CHECK_GE(n, 0);
+    CHECK_LE(n, kMaxQueries);
+    if (n == kMaxQueries) return QuerySet(~uint64_t{0});
+    return QuerySet((uint64_t{1} << n) - 1);
+  }
+
+  uint64_t bits() const { return bits_; }
+  bool empty() const { return bits_ == 0; }
+  int size() const { return std::popcount(bits_); }
+
+  bool Contains(QueryId q) const {
+    DCHECK(q >= 0 && q < kMaxQueries);
+    return (bits_ >> q) & 1;
+  }
+  bool ContainsAll(QuerySet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  bool Intersects(QuerySet other) const { return (bits_ & other.bits_) != 0; }
+
+  void Add(QueryId q) {
+    CHECK(q >= 0 && q < kMaxQueries);
+    bits_ |= uint64_t{1} << q;
+  }
+  void Remove(QueryId q) {
+    DCHECK(q >= 0 && q < kMaxQueries);
+    bits_ &= ~(uint64_t{1} << q);
+  }
+
+  QuerySet Union(QuerySet other) const { return QuerySet(bits_ | other.bits_); }
+  QuerySet Intersect(QuerySet other) const {
+    return QuerySet(bits_ & other.bits_);
+  }
+  QuerySet Minus(QuerySet other) const {
+    return QuerySet(bits_ & ~other.bits_);
+  }
+
+  // Lowest query id in the set; set must be non-empty.
+  QueryId First() const {
+    CHECK(!empty());
+    return std::countr_zero(bits_);
+  }
+
+  std::vector<QueryId> ToIds() const {
+    std::vector<QueryId> ids;
+    ids.reserve(size());
+    uint64_t b = bits_;
+    while (b != 0) {
+      ids.push_back(std::countr_zero(b));
+      b &= b - 1;
+    }
+    return ids;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (QueryId q : ToIds()) {
+      if (!first) out += ",";
+      out += "q" + std::to_string(q);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+  friend bool operator==(QuerySet a, QuerySet b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(QuerySet a, QuerySet b) { return a.bits_ != b.bits_; }
+  friend bool operator<(QuerySet a, QuerySet b) { return a.bits_ < b.bits_; }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_COMMON_QUERY_SET_H_

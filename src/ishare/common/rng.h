@@ -1,0 +1,63 @@
+#ifndef ISHARE_COMMON_RNG_H_
+#define ISHARE_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "ishare/common/check.h"
+
+namespace ishare {
+
+// Deterministic xorshift128+ RNG. Used for data generation and randomized
+// experiments so that every run of the benchmark suite is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding to avoid correlated low-entropy states.
+    uint64_t z = seed;
+    auto next = [&z]() {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    CHECK_LE(lo, hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  double UniformDouble(double lo, double hi) {
+    return lo + UniformDouble() * (hi - lo);
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_COMMON_RNG_H_

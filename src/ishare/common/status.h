@@ -1,0 +1,120 @@
+#ifndef ISHARE_COMMON_STATUS_H_
+#define ISHARE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "ishare/common/check.h"
+
+namespace ishare {
+
+// Error codes used across the library. We follow the RocksDB/Arrow idiom of
+// returning Status objects instead of throwing exceptions across API
+// boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotSupported,
+  kInternal,
+};
+
+// A Status captures the success or failure of an operation. Cheap to copy in
+// the OK case (no allocation), carries a message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  // Human-readable rendering, e.g. "InvalidArgument: bad pace".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+// Result<T> is either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define ISHARE_RETURN_NOT_OK(expr)             \
+  do {                                         \
+    ::ishare::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define ISHARE_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto _res_##__LINE__ = (expr);               \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value();
+
+}  // namespace ishare
+
+#endif  // ISHARE_COMMON_STATUS_H_

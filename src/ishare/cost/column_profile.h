@@ -1,0 +1,39 @@
+#ifndef ISHARE_COST_COLUMN_PROFILE_H_
+#define ISHARE_COST_COLUMN_PROFILE_H_
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "ishare/catalog/catalog.h"
+
+namespace ishare {
+
+// Column statistics propagated through a plan during cost estimation.
+// Keyed by column name (names are stable across plan rewrites).
+using ColumnProfile = std::map<std::string, ColumnStats>;
+
+inline const ColumnStats* FindColumn(const ColumnProfile& p,
+                                     const std::string& name) {
+  auto it = p.find(name);
+  return it == p.end() ? nullptr : &it->second;
+}
+
+inline ColumnProfile ProfileFromStats(const TableStats& stats) {
+  ColumnProfile p;
+  for (const auto& [name, cs] : stats.columns) p[name] = cs;
+  return p;
+}
+
+// Expected number of distinct values hit when drawing n tuples uniformly
+// from g distinct values (Cardenas' formula). Drives group-touch estimates.
+inline double CardenasDistinct(double g, double n) {
+  if (g <= 1.0) return n > 0 ? 1.0 : 0.0;
+  if (n <= 0) return 0.0;
+  // g * (1 - (1 - 1/g)^n), computed stably.
+  return g * -std::expm1(n * std::log1p(-1.0 / g));
+}
+
+}  // namespace ishare
+
+#endif  // ISHARE_COST_COLUMN_PROFILE_H_

@@ -1,0 +1,152 @@
+#include "ishare/cost/estimator.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "ishare/common/hash.h"
+
+namespace ishare {
+
+namespace {
+
+// kSubplanInput child indices in preorder; parallel to the SimInput order
+// SimulateSubplan expects.
+void CollectInputLeaves(const PlanNodePtr& node, std::vector<int>* out) {
+  if (node->kind == PlanKind::kSubplanInput) {
+    out->push_back(node->input_subplan);
+    return;
+  }
+  for (const PlanNodePtr& c : node->children) CollectInputLeaves(c, out);
+}
+
+}  // namespace
+
+CostEstimator::CostEstimator(const SubplanGraph* graph, const Catalog* catalog,
+                             ExecOptions opts, bool use_memo)
+    : graph_(graph), catalog_(catalog), opts_(opts), use_memo_(use_memo) {
+  CHECK(graph != nullptr && catalog != nullptr);
+  int n = graph->num_subplans();
+  memo_.resize(n);
+  closure_.resize(n);
+  for (int i : graph->TopoChildrenFirst()) {
+    std::set<int> cl;
+    cl.insert(i);
+    for (int c : graph->subplan(i).children) {
+      cl.insert(closure_[c].begin(), closure_[c].end());
+    }
+    closure_[i].assign(cl.begin(), cl.end());
+  }
+}
+
+uint64_t CostEstimator::PrivateKey(int subplan,
+                                   const PaceConfig& paces) const {
+  uint64_t h = Mix64(static_cast<uint64_t>(subplan));
+  for (int s : closure_[subplan]) {
+    h = HashCombine(h, static_cast<uint64_t>(paces[s]));
+  }
+  return h;
+}
+
+const SimResult& CostEstimator::Compute(int subplan, const PaceConfig& paces) {
+  uint64_t key = PrivateKey(subplan, paces);
+  if (use_memo_) {
+    auto it = memo_[subplan].find(key);
+    if (it != memo_[subplan].end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  ++misses_;
+  const Subplan& sp = graph_->subplan(subplan);
+
+  // Children first (recursively memoized), then assemble this subplan's
+  // inputs in preorder leaf order.
+  std::vector<int> leaves;
+  CollectInputLeaves(sp.root, &leaves);
+  std::vector<SimInput> inputs;
+  inputs.reserve(leaves.size());
+  for (int c : leaves) {
+    const SimResult& child = Compute(c, paces);
+    SimInput in;
+    in.card = child.out_card;
+    in.deletes = child.out_deletes;
+    in.per_query = child.out_per_query;
+    in.profile = child.out_profile;
+    inputs.push_back(std::move(in));
+  }
+
+  SimResult res =
+      SimulateSubplan(sp.root, *catalog_, paces[subplan], inputs, opts_);
+  if (!use_memo_) {
+    scratch_ = std::move(res);
+    return scratch_;
+  }
+  auto [it, inserted] = memo_[subplan].emplace(key, std::move(res));
+  return it->second;
+}
+
+const SimResult& CostEstimator::SubplanResult(int subplan,
+                                              const PaceConfig& paces) {
+  CHECK_EQ(static_cast<int>(paces.size()), graph_->num_subplans());
+  return Compute(subplan, paces);
+}
+
+PlanCost CostEstimator::Estimate(const PaceConfig& paces) {
+  CHECK_EQ(static_cast<int>(paces.size()), graph_->num_subplans());
+  PlanCost cost;
+  cost.query_final_work.assign(graph_->num_queries(), 0.0);
+  std::vector<const SimResult*> results(graph_->num_subplans());
+  if (use_memo_) {
+    // Children-first guarantees each Compute() call only recurses into
+    // already-memoized children.
+    for (int i : graph_->TopoChildrenFirst()) {
+      results[i] = &Compute(i, paces);
+    }
+  } else {
+    // No-memo ablation (Fig. 15): every estimate simulates the whole plan
+    // from scratch, children-first, mirroring the original algorithm [44].
+    std::vector<SimResult> store(graph_->num_subplans());
+    for (int i : graph_->TopoChildrenFirst()) {
+      const Subplan& sp = graph_->subplan(i);
+      std::vector<int> leaves;
+      CollectInputLeaves(sp.root, &leaves);
+      std::vector<SimInput> inputs;
+      for (int c : leaves) {
+        SimInput in;
+        in.card = store[c].out_card;
+        in.deletes = store[c].out_deletes;
+        in.per_query = store[c].out_per_query;
+        in.profile = store[c].out_profile;
+        inputs.push_back(std::move(in));
+      }
+      ++misses_;
+      store[i] = SimulateSubplan(sp.root, *catalog_, paces[i], inputs, opts_);
+    }
+    for (int i = 0; i < graph_->num_subplans(); ++i) {
+      cost.total_work += store[i].private_total_work;
+      for (QueryId q : graph_->subplan(i).queries.ToIds()) {
+        cost.query_final_work[q] += store[i].private_final_work;
+      }
+    }
+    return cost;
+  }
+  for (int i = 0; i < graph_->num_subplans(); ++i) {
+    cost.total_work += results[i]->private_total_work;
+    for (QueryId q : graph_->subplan(i).queries.ToIds()) {
+      cost.query_final_work[q] += results[i]->private_final_work;
+    }
+  }
+  return cost;
+}
+
+double EstimateStandaloneBatchWork(const QueryPlan& query,
+                                   const Catalog& catalog, ExecOptions opts) {
+  SubplanGraph g = SubplanGraph::Build({query});
+  CostEstimator est(&g, &catalog, opts);
+  PaceConfig ones(g.num_subplans(), 1);
+  PlanCost c = est.Estimate(ones);
+  return c.query_final_work[query.id];
+}
+
+}  // namespace ishare

@@ -1,0 +1,115 @@
+#include "ishare/cost/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ishare {
+
+namespace {
+
+double Clamp(double s) { return std::min(1.0, std::max(kMinSelectivity, s)); }
+
+// Returns the referenced column when `e` is a bare column reference.
+const ColumnStats* ColumnOf(const ExprPtr& e, const ColumnProfile& profile) {
+  if (e->kind() != ExprKind::kColumn) return nullptr;
+  return FindColumn(profile, e->column_name());
+}
+
+double CompareSelectivity(const ExprPtr& pred, const ColumnProfile& profile) {
+  const ExprPtr& l = pred->children()[0];
+  const ExprPtr& r = pred->children()[1];
+  const ColumnStats* lc = ColumnOf(l, profile);
+  const ColumnStats* rc = ColumnOf(r, profile);
+  CompareOp op = pred->compare_op();
+
+  // column <op> column
+  if (lc != nullptr && rc != nullptr) {
+    double ndv = std::max(lc->ndv, rc->ndv);
+    switch (op) {
+      case CompareOp::kEq:
+        return 1.0 / std::max(1.0, ndv);
+      case CompareOp::kNe:
+        return 1.0 - 1.0 / std::max(1.0, ndv);
+      default:
+        return kDefaultRangeSelectivity;
+    }
+  }
+
+  // column <op> literal (or the mirrored form)
+  const ColumnStats* col = lc != nullptr ? lc : rc;
+  const ExprPtr& other = lc != nullptr ? r : l;
+  bool col_on_left = lc != nullptr;
+  if (col != nullptr && other->kind() == ExprKind::kLiteral) {
+    const Value& v = other->literal();
+    switch (op) {
+      case CompareOp::kEq:
+        return 1.0 / std::max(1.0, col->ndv);
+      case CompareOp::kNe:
+        return 1.0 - 1.0 / std::max(1.0, col->ndv);
+      default:
+        break;
+    }
+    if (col->numeric && !v.is_string()) {
+      double x = v.AsDouble();
+      double width = col->max - col->min;
+      if (width <= 0) return kDefaultRangeSelectivity;
+      double frac_below = (x - col->min) / width;  // P(col < x), roughly
+      frac_below = std::min(1.0, std::max(0.0, frac_below));
+      bool less =
+          (op == CompareOp::kLt || op == CompareOp::kLe) == col_on_left;
+      return less ? frac_below : 1.0 - frac_below;
+    }
+    return kDefaultRangeSelectivity;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return kDefaultEqSelectivity;
+    case CompareOp::kNe:
+      return 1.0 - kDefaultEqSelectivity;
+    default:
+      return kDefaultRangeSelectivity;
+  }
+}
+
+}  // namespace
+
+double EstimateSelectivity(const ExprPtr& pred, const ColumnProfile& profile) {
+  if (pred == nullptr) return 1.0;
+  switch (pred->kind()) {
+    case ExprKind::kLiteral:
+      return pred->literal().AsDouble() != 0 ? 1.0 : kMinSelectivity;
+    case ExprKind::kCompare:
+      return Clamp(CompareSelectivity(pred, profile));
+    case ExprKind::kLogic: {
+      double a = EstimateSelectivity(pred->children()[0], profile);
+      double b = EstimateSelectivity(pred->children()[1], profile);
+      if (pred->logic_op() == LogicOp::kAnd) return Clamp(a * b);
+      return Clamp(a + b - a * b);
+    }
+    case ExprKind::kNot:
+      return Clamp(1.0 - EstimateSelectivity(pred->children()[0], profile));
+    case ExprKind::kInList: {
+      const ColumnStats* col = ColumnOf(pred->children()[0], profile);
+      double n = static_cast<double>(pred->in_list().size());
+      if (col != nullptr) return Clamp(n / std::max(1.0, col->ndv));
+      return Clamp(n * kDefaultEqSelectivity);
+    }
+    case ExprKind::kLike: {
+      const std::string& p = pred->like_pattern();
+      bool has_wildcard =
+          p.find('%') != std::string::npos || p.find('_') != std::string::npos;
+      if (!has_wildcard) {
+        const ColumnStats* col = ColumnOf(pred->children()[0], profile);
+        if (col != nullptr) return Clamp(1.0 / std::max(1.0, col->ndv));
+        return kDefaultEqSelectivity;
+      }
+      return kDefaultLikeSelectivity;
+    }
+    case ExprKind::kColumn:
+    case ExprKind::kArith:
+      return 0.5;  // boolean-ish numeric expression; unknown
+  }
+  return 0.5;
+}
+
+}  // namespace ishare

@@ -1,0 +1,24 @@
+#ifndef ISHARE_COST_SELECTIVITY_H_
+#define ISHARE_COST_SELECTIVITY_H_
+
+#include "ishare/cost/column_profile.h"
+#include "ishare/expr/expr.h"
+
+namespace ishare {
+
+// Heuristic selectivity estimation for a boolean predicate against a column
+// profile. Standard System-R-style rules: equality 1/ndv, ranges via
+// min/max interpolation, AND/OR under independence. Clamped to
+// [kMinSelectivity, 1]. Unknown shapes fall back to conservative defaults —
+// the paper likewise treats cost-model inaccuracy as a given (Sec. 3.2)
+// and relies on calibration for recurring queries.
+double EstimateSelectivity(const ExprPtr& pred, const ColumnProfile& profile);
+
+inline constexpr double kMinSelectivity = 5e-4;
+inline constexpr double kDefaultEqSelectivity = 0.05;
+inline constexpr double kDefaultRangeSelectivity = 0.33;
+inline constexpr double kDefaultLikeSelectivity = 0.1;
+
+}  // namespace ishare
+
+#endif  // ISHARE_COST_SELECTIVITY_H_

@@ -1,0 +1,56 @@
+#ifndef ISHARE_COST_SIMULATOR_H_
+#define ISHARE_COST_SIMULATOR_H_
+
+#include <map>
+#include <vector>
+
+#include "ishare/cost/column_profile.h"
+#include "ishare/exec/metrics.h"
+#include "ishare/plan/subplan_graph.h"
+
+namespace ishare {
+
+// Estimated data flowing into a subplan leaf over the whole trigger window.
+struct SimInput {
+  double card = 0;     // total delta tuples (inserts + deletes)
+  double deletes = 0;  // of which deletions
+  std::map<QueryId, double> per_query;  // per-query tuple counts
+  ColumnProfile profile;
+};
+
+// Output of simulating one subplan under one pace (Sec. 3.2, Fig. 4).
+struct SimResult {
+  double private_total_work = 0;  // cost of all simulated executions
+  double private_final_work = 0;  // cost of the last simulated execution
+  // Output over the whole window, which becomes the parents' SimInput.
+  double out_card = 0;
+  double out_deletes = 0;
+  std::map<QueryId, double> out_per_query;
+  ColumnProfile out_profile;
+  // Cumulative estimated work per operator, preorder over the subplan tree.
+  std::vector<double> per_op_work;
+};
+
+// Simulates `pace` incremental executions of the subplan rooted at `root`,
+// each processing 1/pace of the subplan's total input (the paper's
+// memoization-friendly redefinition of pace). kScan leaves draw their
+// totals from the catalog; kSubplanInput leaves consume `inputs` in
+// preorder. The analytic operator models mirror the runtime operators:
+// symmetric join state growth, Cardenas group-touch estimates, aggregate
+// delete+insert churn and min/max delete-rescan penalties.
+SimResult SimulateSubplan(const PlanNodePtr& root, const Catalog& catalog,
+                          int pace, const std::vector<SimInput>& inputs,
+                          const ExecOptions& opts);
+
+// Fraction of `base_card` tuples valid for at least one of the per-query
+// counts, under independence of per-query memberships.
+double UnionFraction(const std::map<QueryId, double>& per_query,
+                     double base_card);
+
+// Restricts a SimInput to the tuples relevant for `keep` (per-query counts
+// filtered; card/deletes scaled by the union fraction of the kept queries).
+SimInput RestrictSimInput(const SimInput& in, QuerySet keep);
+
+}  // namespace ishare
+
+#endif  // ISHARE_COST_SIMULATOR_H_

@@ -1,0 +1,189 @@
+#include "ishare/exec/aggregate.h"
+
+#include <algorithm>
+
+namespace ishare {
+
+AggregateOp::AggregateOp(const PlanNode* node, const Schema& input_schema)
+    : PhysOp(node) {
+  CHECK(node->kind == PlanKind::kAggregate);
+  for (const std::string& g : node->group_by) {
+    group_key_idx_.push_back(input_schema.IndexOfOrDie(g));
+  }
+  for (const AggSpec& spec : node->aggregates) {
+    if (spec.arg != nullptr) {
+      arg_exprs_.push_back(CompiledExpr::Compile(spec.arg, input_schema));
+      has_arg_.push_back(true);
+    } else {
+      arg_exprs_.emplace_back();
+      has_arg_.push_back(false);
+    }
+  }
+  query_ids_ = node->queries.ToIds();
+}
+
+void AggregateOp::UpdateAccum(const AggSpec& spec, Accum* a, const Value& v,
+                              int32_t w) {
+  switch (spec.kind) {
+    case AggKind::kCount:
+      a->count += w;
+      return;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      a->dsum += v.AsDouble() * w;
+      if (v.is_int()) a->isum += v.AsInt() * w;
+      a->count += w;
+      return;
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kCountDistinct: {
+      int64_t& cnt = a->values[v];
+      cnt += w;
+      CHECK_GE(cnt, 0) << "aggregate delete without matching insert";
+      work_.state += 1;
+      if (cnt == 0) {
+        a->values.erase(v);
+        if (spec.kind != AggKind::kCountDistinct && a->extremum.has_value() &&
+            *a->extremum == v) {
+          // The extremum was deleted: rescan all remaining values. This is
+          // the expensive path that makes MAX-over-SUM plans (TPC-H Q15)
+          // non-incrementable under eager execution.
+          a->extremum.reset();
+          for (const auto& [val, c] : a->values) {
+            work_.state += 1;
+            if (!a->extremum.has_value() ||
+                (spec.kind == AggKind::kMax ? a->extremum->Compare(val) < 0
+                                            : a->extremum->Compare(val) > 0)) {
+              a->extremum = val;
+            }
+          }
+        }
+      } else if (w > 0 && spec.kind != AggKind::kCountDistinct) {
+        if (!a->extremum.has_value() ||
+            (spec.kind == AggKind::kMax ? a->extremum->Compare(v) < 0
+                                        : a->extremum->Compare(v) > 0)) {
+          a->extremum = v;
+        }
+      }
+      return;
+    }
+  }
+}
+
+DeltaBatch AggregateOp::Process(int child_idx, const DeltaBatch& in) {
+  CHECK_EQ(child_idx, 0);
+  const auto& specs = node_->aggregates;
+  for (const DeltaTuple& t : in) {
+    work_.in += 1;
+    Row key = ExtractColumns(t.row, group_key_idx_);
+    GroupState& g = groups_[key];
+    if (g.per_query.empty()) {
+      g.key = key;
+      g.per_query.resize(query_ids_.size());
+      for (QueryState& qs : g.per_query) qs.accums.resize(specs.size());
+    }
+    // Evaluate aggregate arguments once per tuple, not once per query.
+    std::vector<Value> argv(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      if (has_arg_[i]) argv[i] = arg_exprs_[i].Eval(t.row);
+    }
+    for (size_t pos = 0; pos < query_ids_.size(); ++pos) {
+      if (!t.qset.Contains(query_ids_[pos])) continue;
+      QueryState& qs = g.per_query[pos];
+      qs.row_count += t.weight;
+      CHECK_GE(qs.row_count, 0) << "aggregate group count went negative";
+      for (size_t i = 0; i < specs.size(); ++i) {
+        UpdateAccum(specs[i], &qs.accums[i], argv[i], t.weight);
+      }
+    }
+    dirty_.insert(std::move(key));
+  }
+  return {};  // blocking: output released in EndExecution
+}
+
+// GCC 12's -Wmaybe-uninitialized falsely fires on the engaged
+// optional<Value>/variant string alternative when the row vector
+// reallocates during push_back (PR 105562-style false positive).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+std::optional<Row> AggregateOp::CurrentRow(const GroupState& g, int qpos) {
+  const QueryState& qs = g.per_query[qpos];
+  if (qs.row_count <= 0) return std::nullopt;
+  Row row = g.key;
+  const auto& specs = node_->aggregates;
+  const Schema& out_schema = node_->output_schema;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const Accum& a = qs.accums[i];
+    switch (specs[i].kind) {
+      case AggKind::kCount:
+        row.push_back(Value(a.count));
+        break;
+      case AggKind::kSum: {
+        DataType t =
+            out_schema.field(static_cast<int>(group_key_idx_.size() + i)).type;
+        if (t == DataType::kInt64) {
+          row.push_back(Value(a.isum));
+        } else {
+          row.push_back(Value(a.dsum));
+        }
+        break;
+      }
+      case AggKind::kAvg:
+        row.push_back(Value(a.count == 0 ? 0.0 : a.dsum / a.count));
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        CHECK(a.extremum.has_value())
+            << "group alive but no extremum for " << specs[i].alias;
+        row.push_back(*a.extremum);
+        break;
+      case AggKind::kCountDistinct:
+        row.push_back(Value(static_cast<int64_t>(a.values.size())));
+        break;
+    }
+  }
+  return row;
+}
+#pragma GCC diagnostic pop
+
+DeltaBatch AggregateOp::EndExecution() {
+  std::unordered_map<Row, QuerySet, RowHasher> deletes;
+  std::unordered_map<Row, QuerySet, RowHasher> inserts;
+  for (const Row& key : dirty_) {
+    auto it = groups_.find(key);
+    CHECK(it != groups_.end());
+    GroupState& g = it->second;
+    for (size_t pos = 0; pos < g.per_query.size(); ++pos) {
+      QueryState& qs = g.per_query[pos];
+      std::optional<Row> now = CurrentRow(g, static_cast<int>(pos));
+      QueryId q = query_ids_[pos];
+      if (qs.emitted && (!now.has_value() || *now != qs.last_emitted)) {
+        deletes[qs.last_emitted].Add(q);
+        qs.emitted = false;
+      }
+      if (now.has_value() && !qs.emitted) {
+        inserts[*now].Add(q);
+        qs.last_emitted = std::move(*now);
+        qs.emitted = true;
+      } else if (now.has_value() && qs.emitted &&
+                 *now == qs.last_emitted) {
+        // Value unchanged; nothing to emit.
+      }
+    }
+  }
+  dirty_.clear();
+  DeltaBatch out;
+  out.reserve(deletes.size() + inserts.size());
+  // Deletes first so downstream state never sees duplicate inserts.
+  for (auto& [row, qset] : deletes) {
+    out.emplace_back(row, qset, -1);
+    work_.out += 1;
+  }
+  for (auto& [row, qset] : inserts) {
+    out.emplace_back(row, qset, 1);
+    work_.out += 1;
+  }
+  return out;
+}
+
+}  // namespace ishare

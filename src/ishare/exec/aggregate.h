@@ -1,0 +1,72 @@
+#ifndef ISHARE_EXEC_AGGREGATE_H_
+#define ISHARE_EXEC_AGGREGATE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ishare/exec/phys_op.h"
+
+namespace ishare {
+
+// Shared incremental group-by aggregate.
+//
+// Because marking selects upstream give tuples heterogeneous query sets,
+// the operator keeps one accumulator per (group, sharing query). After each
+// incremental execution it emits, for every touched group, a delete of the
+// previously emitted result row and an insert of the new one (per query;
+// queries whose rows are identical are coalesced into one delta tuple with
+// a merged query set). This delete+insert churn is precisely the overhead
+// of eager incremental execution the paper optimizes (Fig. 1).
+//
+// MIN/MAX keep a value->multiplicity map per (group, query); deleting the
+// current extremum triggers a full rescan of the map, reproducing the
+// non-incrementability of TPC-H Q15 discussed in Sec. 5.3.
+class AggregateOp : public PhysOp {
+ public:
+  AggregateOp(const PlanNode* node, const Schema& input_schema);
+
+  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+  DeltaBatch EndExecution() override;
+
+  int64_t NumGroups() const { return static_cast<int64_t>(groups_.size()); }
+
+ private:
+  struct Accum {
+    double dsum = 0;
+    int64_t isum = 0;
+    int64_t count = 0;  // weighted count of non-null contributions
+    // MIN / MAX / COUNT_DISTINCT only.
+    std::unordered_map<Value, int64_t, ValueHasher> values;
+    std::optional<Value> extremum;
+  };
+
+  struct QueryState {
+    int64_t row_count = 0;  // weighted number of contributing input tuples
+    std::vector<Accum> accums;
+    bool emitted = false;
+    Row last_emitted;
+  };
+
+  struct GroupState {
+    Row key;
+    std::vector<QueryState> per_query;  // indexed by query position
+  };
+
+  void UpdateAccum(const AggSpec& spec, Accum* a, const Value& v, int32_t w);
+  // Builds the output row for (group, query position), or nullopt when the
+  // group has no contributions for that query.
+  std::optional<Row> CurrentRow(const GroupState& g, int qpos);
+
+  std::vector<int> group_key_idx_;
+  std::vector<CompiledExpr> arg_exprs_;  // per AggSpec; default for COUNT(*)
+  std::vector<bool> has_arg_;
+  std::vector<QueryId> query_ids_;  // position -> query id
+  std::unordered_map<Row, GroupState, RowHasher> groups_;
+  std::unordered_set<Row, RowHasher> dirty_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_EXEC_AGGREGATE_H_

@@ -1,0 +1,193 @@
+#include "ishare/exec/hash_join.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ishare {
+
+HashJoinOp::HashJoinOp(const PlanNode* node, const Schema& left_schema,
+                       const Schema& right_schema)
+    : PhysOp(node) {
+  CHECK(node->kind == PlanKind::kJoin);
+  for (const std::string& k : node->left_keys) {
+    left_key_idx_.push_back(left_schema.IndexOfOrDie(k));
+  }
+  for (const std::string& k : node->right_keys) {
+    right_key_idx_.push_back(right_schema.IndexOfOrDie(k));
+  }
+  query_ids_ = node->queries.ToIds();
+  query_pos_.fill(-1);
+  for (size_t i = 0; i < query_ids_.size(); ++i) {
+    query_pos_[query_ids_[i]] = static_cast<int>(i);
+  }
+}
+
+void HashJoinOp::UpdateState(SideState* state, const Row& key,
+                             const DeltaTuple& t, int64_t* entry_counter) {
+  std::vector<Entry>& bucket = (*state)[key];
+  Entry* entry = nullptr;
+  for (Entry& e : bucket) {
+    if (e.row == t.row) {
+      entry = &e;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    CHECK_GT(t.weight, 0) << "delete of a row absent from join state";
+    bucket.push_back(Entry{t.row, std::vector<int64_t>(query_ids_.size(), 0)});
+    entry = &bucket.back();
+    ++*entry_counter;
+  }
+  bool all_zero = true;
+  for (size_t pos = 0; pos < query_ids_.size(); ++pos) {
+    if (t.qset.Contains(query_ids_[pos])) {
+      entry->counts[pos] += t.weight;
+      CHECK_GE(entry->counts[pos], 0) << "negative multiplicity in join state";
+    }
+    if (entry->counts[pos] != 0) all_zero = false;
+  }
+  if (all_zero) {
+    *entry = std::move(bucket.back());
+    bucket.pop_back();
+    --*entry_counter;
+    if (bucket.empty()) state->erase(key);
+  }
+}
+
+void HashJoinOp::EmitMatches(const DeltaTuple& t, const Entry& e,
+                             bool t_is_left, DeltaBatch* out) {
+  // Group queries by the contribution weight t.weight * e.counts[q] so the
+  // common case (uniform multiplicities) emits a single delta tuple.
+  std::map<int64_t, QuerySet> by_weight;
+  for (QueryId q : t.qset.ToIds()) {
+    int64_t w = static_cast<int64_t>(t.weight) * e.counts[QueryPos(q)];
+    if (w == 0) continue;
+    by_weight[w].Add(q);
+  }
+  if (by_weight.empty()) return;
+  Row joined;
+  joined.reserve(t.row.size() + e.row.size());
+  if (t_is_left) {
+    joined = t.row;
+    joined.insert(joined.end(), e.row.begin(), e.row.end());
+  } else {
+    joined = e.row;
+    joined.insert(joined.end(), t.row.begin(), t.row.end());
+  }
+  for (const auto& [w, qset] : by_weight) {
+    out->emplace_back(joined, qset, static_cast<int32_t>(w));
+    work_.out += 1;
+  }
+}
+
+DeltaBatch HashJoinOp::Process(int child_idx, const DeltaBatch& in) {
+  CHECK(child_idx == 0 || child_idx == 1);
+  if (node_->join_type == JoinType::kInner) {
+    return ProcessInner(child_idx, in);
+  }
+  return ProcessSemiAnti(child_idx, in);
+}
+
+DeltaBatch HashJoinOp::ProcessInner(int child_idx, const DeltaBatch& in) {
+  DeltaBatch out;
+  const bool from_left = (child_idx == 0);
+  SideState* own = from_left ? &left_state_ : &right_state_;
+  SideState* other = from_left ? &right_state_ : &left_state_;
+  int64_t* own_entries = from_left ? &left_entries_ : &right_entries_;
+  const std::vector<int>& own_keys =
+      from_left ? left_key_idx_ : right_key_idx_;
+
+  for (const DeltaTuple& t : in) {
+    work_.in += 1;
+    Row key = ExtractColumns(t.row, own_keys);
+    UpdateState(own, key, t, own_entries);
+    auto it = other->find(key);
+    if (it == other->end()) continue;
+    for (const Entry& e : it->second) {
+      work_.state += 1;  // probe cost
+      EmitMatches(t, e, from_left, &out);
+    }
+  }
+  return out;
+}
+
+DeltaBatch HashJoinOp::ProcessSemiAnti(int child_idx, const DeltaBatch& in) {
+  const bool semi = (node_->join_type == JoinType::kLeftSemi);
+  DeltaBatch out;
+
+  if (child_idx == 0) {
+    // Left deltas: store, then emit for the queries whose current right
+    // match count satisfies the semi/anti condition.
+    for (const DeltaTuple& t : in) {
+      work_.in += 1;
+      Row key = ExtractColumns(t.row, left_key_idx_);
+      UpdateState(&left_state_, key, t, &left_entries_);
+      auto it = right_counts_.find(key);
+      QuerySet pass;
+      for (QueryId q : t.qset.ToIds()) {
+        int64_t cnt =
+            (it == right_counts_.end()) ? 0 : it->second[QueryPos(q)];
+        bool matched = cnt > 0;
+        if (matched == semi) pass.Add(q);
+      }
+      work_.state += 1;
+      if (pass.empty()) continue;
+      out.emplace_back(t.row, pass, t.weight);
+      work_.out += 1;
+    }
+    return out;
+  }
+
+  // Right deltas: maintain per-(key, query) counts; when a count crosses
+  // zero, (re-)emit or retract the stored left tuples for that query.
+  for (const DeltaTuple& t : in) {
+    work_.in += 1;
+    Row key = ExtractColumns(t.row, right_key_idx_);
+    std::vector<int64_t>& counts = right_counts_[key];
+    if (counts.empty()) counts.assign(query_ids_.size(), 0);
+    QuerySet became_matched;
+    QuerySet became_unmatched;
+    for (QueryId q : t.qset.ToIds()) {
+      int pos = QueryPos(q);
+      int64_t before = counts[pos];
+      counts[pos] += t.weight;
+      CHECK_GE(counts[pos], 0) << "negative right match count";
+      if (before == 0 && counts[pos] > 0) became_matched.Add(q);
+      if (before > 0 && counts[pos] == 0) became_unmatched.Add(q);
+    }
+    work_.state += 1;
+    if (became_matched.empty() && became_unmatched.empty()) continue;
+
+    // For semi joins, newly matched queries gain left tuples and newly
+    // unmatched queries lose them; anti joins are the mirror image.
+    QuerySet emit_plus = semi ? became_matched : became_unmatched;
+    QuerySet emit_minus = semi ? became_unmatched : became_matched;
+    auto lit = left_state_.find(key);
+    if (lit == left_state_.end()) continue;
+    for (const Entry& e : lit->second) {
+      work_.state += 1;
+      // Group affected queries by their stored multiplicity.
+      std::map<int64_t, QuerySet> plus_by_w;
+      std::map<int64_t, QuerySet> minus_by_w;
+      for (QueryId q : emit_plus.ToIds()) {
+        int64_t c = e.counts[QueryPos(q)];
+        if (c != 0) plus_by_w[c].Add(q);
+      }
+      for (QueryId q : emit_minus.ToIds()) {
+        int64_t c = e.counts[QueryPos(q)];
+        if (c != 0) minus_by_w[c].Add(q);
+      }
+      for (const auto& [w, qset] : plus_by_w) {
+        out.emplace_back(e.row, qset, static_cast<int32_t>(w));
+        work_.out += 1;
+      }
+      for (const auto& [w, qset] : minus_by_w) {
+        out.emplace_back(e.row, qset, static_cast<int32_t>(-w));
+        work_.out += 1;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ishare

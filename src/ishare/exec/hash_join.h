@@ -1,0 +1,84 @@
+#ifndef ISHARE_EXEC_HASH_JOIN_H_
+#define ISHARE_EXEC_HASH_JOIN_H_
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "ishare/exec/phys_op.h"
+
+namespace ishare {
+
+// Symmetric incremental hash join with SharedDB query-set annotations.
+//
+// State layout: per side, key -> bucket of stored rows, each row carrying
+// one multiplicity counter *per sharing query*. Per-query counters are
+// required because upstream operators (notably shared aggregates) emit
+// deltas whose query sets can be narrower than the sets under which the
+// matching rows were first inserted.
+//
+// Inner join: a delta batch from one side first updates that side's state,
+// then probes the other side's current state, so over one incremental
+// execution the emitted delta is exactly ΔL ⋈ R ∪ (L + ΔL) ⋈ ΔR.
+//
+// Left-semi / left-anti joins keep per-query right match counts per key;
+// when a right delta moves a (key, query) count across zero, the affected
+// left tuples are (re-)emitted or retracted.
+class HashJoinOp : public PhysOp {
+ public:
+  HashJoinOp(const PlanNode* node, const Schema& left_schema,
+             const Schema& right_schema);
+
+  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+
+  // Current number of stored rows, for tests and diagnostics.
+  int64_t LeftStateSize() const { return left_entries_; }
+  int64_t RightStateSize() const { return right_entries_; }
+
+ private:
+  struct Entry {
+    Row row;
+    std::vector<int64_t> counts;  // per query position
+  };
+  using SideState = std::unordered_map<Row, std::vector<Entry>, RowHasher>;
+  // Per-key, per-query count of right tuples (semi/anti bookkeeping).
+  using MatchCounts =
+      std::unordered_map<Row, std::vector<int64_t>, RowHasher>;
+
+  DeltaBatch ProcessInner(int child_idx, const DeltaBatch& in);
+  DeltaBatch ProcessSemiAnti(int child_idx, const DeltaBatch& in);
+
+  // Applies the tuple's weight to the matching stored row's per-query
+  // counters, creating/removing the entry as needed.
+  void UpdateState(SideState* state, const Row& key, const DeltaTuple& t,
+                   int64_t* entry_counter);
+
+  // Emits join results of `t` against entry `e`, grouping queries with
+  // equal contribution weights into single delta tuples.
+  void EmitMatches(const DeltaTuple& t, const Entry& e, bool t_is_left,
+                   DeltaBatch* out);
+
+  int QueryPos(QueryId q) const {
+    int pos = query_pos_[q];
+    DCHECK(pos >= 0) << "query q" << q << " not in join's query set";
+    return pos;
+  }
+
+  std::vector<int> left_key_idx_;
+  std::vector<int> right_key_idx_;
+
+  SideState left_state_;
+  SideState right_state_;
+  int64_t left_entries_ = 0;
+  int64_t right_entries_ = 0;
+
+  // Semi/anti only.
+  MatchCounts right_counts_;
+
+  std::vector<QueryId> query_ids_;           // position -> query id
+  std::array<int, QuerySet::kMaxQueries> query_pos_;  // query id -> position
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_EXEC_HASH_JOIN_H_

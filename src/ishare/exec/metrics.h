@@ -1,0 +1,48 @@
+#ifndef ISHARE_EXEC_METRICS_H_
+#define ISHARE_EXEC_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ishare {
+
+// Work performed by one physical operator, in the paper's cost-model units
+// (Sec. 2.1: "the number of tuples processed by all operators"). We count
+//  - in:    tuples consumed from inputs,
+//  - out:   tuples emitted (this is also the materialization cost when the
+//           operator is a subplan root writing to a buffer),
+//  - state: extra state maintenance work (hash probes beyond 1 per tuple,
+//           min/max rescans after deleting the extremum, ...).
+struct OpWork {
+  double in = 0;
+  double out = 0;
+  double state = 0;
+
+  double Total() const { return in + out + state; }
+
+  OpWork& operator+=(const OpWork& o) {
+    in += o.in;
+    out += o.out;
+    state += o.state;
+    return *this;
+  }
+  friend OpWork operator-(OpWork a, const OpWork& b) {
+    a.in -= b.in;
+    a.out -= b.out;
+    a.state -= b.state;
+    return a;
+  }
+};
+
+// Tunables for the runtime; the same constants parameterize the cost model
+// so estimated and measured work are in the same units.
+struct ExecOptions {
+  // Fixed cost charged per incremental execution of a subplan. Models the
+  // per-job startup overhead the paper's Spark prototype pays (mitigated
+  // but not eliminated by Drizzle-style scheduling [47]).
+  double startup_cost = 32.0;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_EXEC_METRICS_H_

@@ -1,0 +1,126 @@
+#include "ishare/exec/pace_executor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace ishare {
+
+namespace {
+
+// Exact rational i/p in lowest terms; avoids floating-point schedule drift.
+struct Fraction {
+  int64_t num;
+  int64_t den;
+
+  static Fraction Make(int64_t n, int64_t d) {
+    int64_t g = std::gcd(n, d);
+    return Fraction{n / g, d / g};
+  }
+
+  bool operator<(const Fraction& o) const { return num * o.den < o.num * den; }
+  bool operator==(const Fraction& o) const {
+    return num == o.num && den == o.den;
+  }
+
+  double ToDouble() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+
+  // True when this fraction is a multiple of 1/pace.
+  bool IsStepOf(int pace) const { return (num * pace) % den == 0; }
+};
+
+}  // namespace
+
+PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
+                           ExecOptions opts)
+    : graph_(graph), source_(source), opts_(opts) {
+  CHECK(graph != nullptr && source != nullptr);
+  int n = graph->num_subplans();
+  buffers_.resize(n);
+  executors_.resize(n);
+  // Children-first so a parent's SubplanInput consumers find live buffers.
+  for (int i : graph->TopoChildrenFirst()) {
+    const Subplan& sp = graph->subplan(i);
+    buffers_[i] = std::make_unique<DeltaBuffer>(
+        sp.root->output_schema, "subplan_" + std::to_string(i));
+    executors_[i] = std::make_unique<SubplanExecutor>(
+        sp, source_, buffers_, buffers_[i].get(), opts_);
+  }
+}
+
+RunResult PaceExecutor::Run(const PaceConfig& paces) {
+  int n = graph_->num_subplans();
+  CHECK_EQ(static_cast<int>(paces.size()), n);
+  for (int p : paces) CHECK_GE(p, 1);
+
+  // Event points: every i/p_s for every subplan s.
+  std::set<Fraction> points;
+  for (int s = 0; s < n; ++s) {
+    for (int i = 1; i <= paces[s]; ++i) {
+      points.insert(Fraction::Make(i, paces[s]));
+    }
+  }
+
+  RunResult result;
+  result.subplans.resize(n);
+  std::vector<int> topo = graph_->TopoChildrenFirst();
+
+  for (const Fraction& f : points) {
+    source_->AdvanceTo(f.ToDouble());
+    bool is_trigger = (f.num == f.den);
+    for (int s : topo) {
+      if (!f.IsStepOf(paces[s])) continue;
+      ExecRecord rec = executors_[s]->RunExecution();
+      SubplanRunStats& st = result.subplans[s];
+      st.work_per_exec.push_back(rec.work);
+      st.secs_per_exec.push_back(rec.seconds);
+      st.exec_fraction.push_back(f.ToDouble());
+      st.total_work += rec.work;
+      st.total_seconds += rec.seconds;
+      st.tuples_out += rec.tuples_out;
+      if (is_trigger) {
+        st.final_work = rec.work;
+        st.final_seconds = rec.seconds;
+      }
+      result.total_work += rec.work;
+      result.total_seconds += rec.seconds;
+    }
+  }
+
+  result.query_final_work.assign(graph_->num_queries(), 0.0);
+  result.query_latency_seconds.assign(graph_->num_queries(), 0.0);
+  for (QueryId q = 0; q < graph_->num_queries(); ++q) {
+    for (int s : graph_->SubplansOfQuery(q)) {
+      result.query_final_work[q] += result.subplans[s].final_work;
+      result.query_latency_seconds[q] += result.subplans[s].final_seconds;
+    }
+  }
+  return result;
+}
+
+DeltaBuffer* PaceExecutor::query_output(QueryId q) const {
+  int root = graph_->query_root(q);
+  CHECK_GE(root, 0);
+  return buffers_[root].get();
+}
+
+std::unordered_map<Row, int64_t, RowHasher> MaterializeResult(
+    const DeltaBuffer& buffer, QueryId q) {
+  std::unordered_map<Row, int64_t, RowHasher> out;
+  for (const DeltaTuple& t : buffer.log()) {
+    if (!t.qset.Contains(q)) continue;
+    out[t.row] += t.weight;
+  }
+  for (auto it = out.begin(); it != out.end();) {
+    if (it->second == 0) {
+      it = out.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+}  // namespace ishare

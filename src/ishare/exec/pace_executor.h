@@ -1,0 +1,78 @@
+#ifndef ISHARE_EXEC_PACE_EXECUTOR_H_
+#define ISHARE_EXEC_PACE_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ishare/exec/subplan_exec.h"
+#include "ishare/plan/subplan_graph.h"
+#include "ishare/storage/stream_source.h"
+
+namespace ishare {
+
+// Paces of all subplans, indexed like SubplanGraph::subplans(). A pace k
+// means the subplan starts one incremental execution whenever the system
+// has received 1/k of the trigger window's data (Sec. 2.2).
+using PaceConfig = std::vector<int>;
+
+// Per-subplan measurements of one pace-driven run.
+struct SubplanRunStats {
+  std::vector<double> work_per_exec;
+  std::vector<double> secs_per_exec;
+  std::vector<double> exec_fraction;  // data fraction of each execution
+  double total_work = 0;
+  double total_seconds = 0;
+  // The execution at the trigger point (fraction 1.0).
+  double final_work = 0;
+  double final_seconds = 0;
+  int64_t tuples_out = 0;
+};
+
+// Result of executing a shared plan under a pace configuration.
+struct RunResult {
+  double total_work = 0;      // the paper's "total work" (CPU proxy)
+  double total_seconds = 0;   // the paper's "total execution time"
+  std::vector<SubplanRunStats> subplans;
+  // Per query: sum over the query's subplans of their final execution
+  // work/time (the paper's "final work" and "latency").
+  std::vector<double> query_final_work;
+  std::vector<double> query_latency_seconds;
+};
+
+// Drives a SubplanGraph over a simulated trigger window. The executor owns
+// the subplan output buffers; query results remain available in the query
+// roots' buffers after Run().
+class PaceExecutor {
+ public:
+  // The stream source must be freshly constructed or Reset().
+  PaceExecutor(const SubplanGraph* graph, StreamSource* source,
+               ExecOptions opts = ExecOptions());
+
+  // Executes the whole trigger window under `paces`; paces.size() must
+  // equal the number of subplans and every pace must be >= 1.
+  RunResult Run(const PaceConfig& paces);
+
+  // Output buffer of query q's root subplan (valid after Run()).
+  DeltaBuffer* query_output(QueryId q) const;
+  DeltaBuffer* subplan_output(int subplan) const {
+    return buffers_[subplan].get();
+  }
+
+ private:
+  const SubplanGraph* graph_;
+  StreamSource* source_;
+  ExecOptions opts_;
+  std::vector<std::unique_ptr<DeltaBuffer>> buffers_;
+  std::vector<std::unique_ptr<SubplanExecutor>> executors_;
+};
+
+// Sums the weights of buffer tuples valid for query q; the result maps
+// each distinct row to its net multiplicity. Used to check that
+// incremental execution converges to the batch result.
+std::unordered_map<Row, int64_t, RowHasher> MaterializeResult(
+    const DeltaBuffer& buffer, QueryId q);
+
+}  // namespace ishare
+
+#endif  // ISHARE_EXEC_PACE_EXECUTOR_H_

@@ -1,0 +1,91 @@
+#ifndef ISHARE_EXEC_PHYS_OP_H_
+#define ISHARE_EXEC_PHYS_OP_H_
+
+#include <memory>
+#include <vector>
+
+#include "ishare/exec/metrics.h"
+#include "ishare/plan/plan.h"
+#include "ishare/storage/delta.h"
+
+namespace ishare {
+
+// Base class for physical operators implementing shared incremental
+// execution (Sec. 2.3). An operator is fed delta batches from its children
+// (one call per child per incremental execution) and returns its own output
+// deltas. Blocking operators (Aggregate) buffer updates and release them
+// from EndExecution, which the driver calls once per incremental execution
+// after all child input has been pushed.
+class PhysOp {
+ public:
+  explicit PhysOp(const PlanNode* node) : node_(node) {}
+  virtual ~PhysOp() = default;
+
+  PhysOp(const PhysOp&) = delete;
+  PhysOp& operator=(const PhysOp&) = delete;
+
+  const PlanNode* node() const { return node_; }
+
+  // Processes one delta batch arriving from child `child_idx`.
+  virtual DeltaBatch Process(int child_idx, const DeltaBatch& in) = 0;
+
+  // Flushes any output held back until the end of the current incremental
+  // execution. Default: nothing held back.
+  virtual DeltaBatch EndExecution() { return {}; }
+
+  // Cumulative work performed by this operator since construction.
+  const OpWork& work() const { return work_; }
+
+ protected:
+  const PlanNode* node_;
+  OpWork work_;
+};
+
+// Pass-through that re-tags scanned base tuples with the scan's query set.
+class ScanOp : public PhysOp {
+ public:
+  explicit ScanOp(const PlanNode* node) : PhysOp(node) {}
+  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+};
+
+// Masks tuples pulled from a child subplan's buffer down to this subplan's
+// query set; drops tuples that no longer matter (the σ_filter of Fig. 2).
+class SubplanInputOp : public PhysOp {
+ public:
+  explicit SubplanInputOp(const PlanNode* node) : PhysOp(node) {}
+  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+};
+
+// Shared select: evaluates each distinct predicate once per tuple and
+// clears the query bits whose predicate rejects the tuple (marking select
+// σ*). Tuples with no surviving bits are dropped.
+class FilterOp : public PhysOp {
+ public:
+  FilterOp(const PlanNode* node, const Schema& input_schema);
+  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+
+ private:
+  struct PredGroup {
+    CompiledExpr pred;
+    QuerySet queries;
+  };
+  std::vector<PredGroup> groups_;
+};
+
+// Computes the merged projection list (union over sharing queries).
+class ProjectOp : public PhysOp {
+ public:
+  ProjectOp(const PlanNode* node, const Schema& input_schema);
+  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+
+ private:
+  std::vector<CompiledExpr> exprs_;
+};
+
+// Builds the physical operator tree for a subplan's plan tree. Leaves
+// (kScan / kSubplanInput) become ScanOp / SubplanInputOp fed by the driver.
+std::unique_ptr<PhysOp> CreatePhysOp(const PlanNode* node);
+
+}  // namespace ishare
+
+#endif  // ISHARE_EXEC_PHYS_OP_H_

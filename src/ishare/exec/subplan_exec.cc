@@ -1,0 +1,95 @@
+#include "ishare/exec/subplan_exec.h"
+
+#include <chrono>
+
+namespace ishare {
+
+SubplanExecutor::SubplanExecutor(
+    const Subplan& sp, StreamSource* source,
+    const std::vector<std::unique_ptr<DeltaBuffer>>& buffers,
+    DeltaBuffer* output, const ExecOptions& opts)
+    : output_(output), opts_(opts), source_(source), buffers_(buffers) {
+  CHECK(sp.root != nullptr);
+  CHECK(output != nullptr);
+  root_ = BuildTree(sp.root);
+}
+
+SubplanExecutor::OpNode SubplanExecutor::BuildTree(const PlanNodePtr& node) {
+  OpNode n;
+  n.op = CreatePhysOp(node.get());
+  if (node->kind == PlanKind::kScan) {
+    n.input_buffer = source_->buffer(node->table_name);
+    n.consumer_id = n.input_buffer->RegisterConsumer();
+    return n;
+  }
+  if (node->kind == PlanKind::kSubplanInput) {
+    CHECK(node->input_subplan >= 0 &&
+          node->input_subplan < static_cast<int>(buffers_.size()));
+    n.input_buffer = buffers_[node->input_subplan].get();
+    CHECK(n.input_buffer != nullptr)
+        << "child subplan buffer " << node->input_subplan << " missing";
+    n.consumer_id = n.input_buffer->RegisterConsumer();
+    return n;
+  }
+  n.children.reserve(node->children.size());
+  for (const PlanNodePtr& c : node->children) {
+    n.children.push_back(BuildTree(c));
+  }
+  return n;
+}
+
+DeltaBatch SubplanExecutor::Pump(OpNode& n) {
+  DeltaBatch collected;
+  if (n.input_buffer != nullptr) {
+    DeltaBatch raw = n.input_buffer->ConsumeNew(n.consumer_id);
+    if (raw.empty()) return {};
+    return n.op->Process(0, raw);
+  }
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    DeltaBatch b = Pump(n.children[i]);
+    if (b.empty()) continue;
+    DeltaBatch o = n.op->Process(static_cast<int>(i), b);
+    collected.insert(collected.end(), std::make_move_iterator(o.begin()),
+                     std::make_move_iterator(o.end()));
+  }
+  DeltaBatch flush = n.op->EndExecution();
+  collected.insert(collected.end(), std::make_move_iterator(flush.begin()),
+                   std::make_move_iterator(flush.end()));
+  return collected;
+}
+
+double SubplanExecutor::TotalOpWork(const OpNode& n) const {
+  double w = n.op->work().Total();
+  for (const OpNode& c : n.children) w += TotalOpWork(c);
+  return w;
+}
+
+void SubplanExecutor::CollectWork(const OpNode& n,
+                                  std::vector<OpWork>* out) const {
+  out->push_back(n.op->work());
+  for (const OpNode& c : n.children) CollectWork(c, out);
+}
+
+std::vector<OpWork> SubplanExecutor::OpWorkBreakdown() const {
+  std::vector<OpWork> out;
+  CollectWork(root_, &out);
+  return out;
+}
+
+ExecRecord SubplanExecutor::RunExecution() {
+  auto start = std::chrono::steady_clock::now();
+  DeltaBatch out = Pump(root_);
+  output_->AppendBatch(out);
+  auto end = std::chrono::steady_clock::now();
+
+  ++executions_;
+  double total = TotalOpWork(root_);
+  ExecRecord rec;
+  rec.work = (total - last_total_work_) + opts_.startup_cost;
+  rec.seconds = std::chrono::duration<double>(end - start).count();
+  rec.tuples_out = static_cast<int64_t>(out.size());
+  last_total_work_ = total;
+  return rec;
+}
+
+}  // namespace ishare

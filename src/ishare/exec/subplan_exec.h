@@ -1,0 +1,74 @@
+#ifndef ISHARE_EXEC_SUBPLAN_EXEC_H_
+#define ISHARE_EXEC_SUBPLAN_EXEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "ishare/exec/metrics.h"
+#include "ishare/exec/phys_op.h"
+#include "ishare/plan/subplan_graph.h"
+#include "ishare/storage/delta_buffer.h"
+#include "ishare/storage/stream_source.h"
+
+namespace ishare {
+
+// Result of one incremental execution of a subplan.
+struct ExecRecord {
+  double work = 0;     // cost-model units, incl. the per-execution startup
+  double seconds = 0;  // wall-clock time of this execution
+  int64_t tuples_out = 0;
+};
+
+// Runs one subplan: builds the physical operator tree from the plan tree,
+// registers consumers on the input buffers (base relations and child
+// subplan outputs), and on each RunExecution() drains all pending input,
+// pushes it through the operators and appends the result to the subplan's
+// output buffer.
+class SubplanExecutor {
+ public:
+  // `subplan_buffers[i]` must outlive this executor and already exist for
+  // every child subplan index referenced by `sp`.
+  SubplanExecutor(const Subplan& sp, StreamSource* source,
+                  const std::vector<std::unique_ptr<DeltaBuffer>>& buffers,
+                  DeltaBuffer* output, const ExecOptions& opts);
+
+  SubplanExecutor(const SubplanExecutor&) = delete;
+  SubplanExecutor& operator=(const SubplanExecutor&) = delete;
+
+  // Executes one incremental step over all newly arrived input.
+  ExecRecord RunExecution();
+
+  DeltaBuffer* output() const { return output_; }
+
+  // Cumulative per-operator work, preorder over the subplan tree. Used to
+  // derive per-operator work fractions for local final work constraints.
+  std::vector<OpWork> OpWorkBreakdown() const;
+
+  int64_t executions() const { return executions_; }
+
+ private:
+  struct OpNode {
+    std::unique_ptr<PhysOp> op;
+    std::vector<OpNode> children;
+    // Leaf wiring; null for interior nodes.
+    DeltaBuffer* input_buffer = nullptr;
+    int consumer_id = -1;
+  };
+
+  OpNode BuildTree(const PlanNodePtr& node);
+  DeltaBatch Pump(OpNode& n);
+  void CollectWork(const OpNode& n, std::vector<OpWork>* out) const;
+  double TotalOpWork(const OpNode& n) const;
+
+  OpNode root_;
+  DeltaBuffer* output_;
+  ExecOptions opts_;
+  StreamSource* source_;
+  const std::vector<std::unique_ptr<DeltaBuffer>>& buffers_;
+  int64_t executions_ = 0;
+  double last_total_work_ = 0;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_EXEC_SUBPLAN_EXEC_H_

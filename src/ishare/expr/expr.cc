@@ -1,0 +1,432 @@
+#include "ishare/expr/expr.h"
+
+#include <algorithm>
+
+namespace ishare {
+
+namespace {
+
+const char* ArithName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kIntDiv:
+      return "DIV";
+  }
+  return "?";
+}
+
+const char* CompareName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumn;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kArith;
+  e->arith_op_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCompare;
+  e->compare_op_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Logic(LogicOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLogic;
+  e->logic_op_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Negate(ExprPtr child) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr child, std::vector<Value> list) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kInList;
+  e->children_ = {std::move(child)};
+  e->in_list_ = std::move(list);
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr child, std::string pattern) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLike;
+  e->children_ = {std::move(child)};
+  e->like_pattern_ = std::move(pattern);
+  return e;
+}
+
+DataType Expr::OutputType(const Schema& input) const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return input.field(input.IndexOfOrDie(column_name_)).type;
+    case ExprKind::kLiteral:
+      return literal_.type();
+    case ExprKind::kArith: {
+      DataType l = children_[0]->OutputType(input);
+      DataType r = children_[1]->OutputType(input);
+      CHECK(l != DataType::kString && r != DataType::kString)
+          << "arithmetic on string in " << ToString();
+      if (arith_op_ == ArithOp::kIntDiv) {
+        CHECK(l == DataType::kInt64 && r == DataType::kInt64)
+            << "integer division needs integer operands in " << ToString();
+        return DataType::kInt64;
+      }
+      if (arith_op_ == ArithOp::kDiv) return DataType::kFloat64;
+      if (l == DataType::kFloat64 || r == DataType::kFloat64) {
+        return DataType::kFloat64;
+      }
+      return DataType::kInt64;
+    }
+    case ExprKind::kCompare:
+    case ExprKind::kLogic:
+    case ExprKind::kNot:
+    case ExprKind::kInList:
+    case ExprKind::kLike:
+      return DataType::kInt64;  // boolean as 0/1
+  }
+  return DataType::kInt64;
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  if (kind_ == ExprKind::kColumn) {
+    if (std::find(out->begin(), out->end(), column_name_) == out->end()) {
+      out->push_back(column_name_);
+    }
+    return;
+  }
+  for (const ExprPtr& c : children_) c->CollectColumns(out);
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return column_name_;
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kArith:
+      return "(" + children_[0]->ToString() + " " + ArithName(arith_op_) +
+             " " + children_[1]->ToString() + ")";
+    case ExprKind::kCompare:
+      return "(" + children_[0]->ToString() + " " + CompareName(compare_op_) +
+             " " + children_[1]->ToString() + ")";
+    case ExprKind::kLogic:
+      return "(" + children_[0]->ToString() +
+             (logic_op_ == LogicOp::kAnd ? " AND " : " OR ") +
+             children_[1]->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT " + children_[0]->ToString();
+    case ExprKind::kInList: {
+      std::string out = children_[0]->ToString() + " IN (";
+      for (size_t i = 0; i < in_list_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_list_[i].ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kLike:
+      return children_[0]->ToString() + " LIKE '" + like_pattern_ + "'";
+  }
+  return "?";
+}
+
+bool Expr::Equals(const ExprPtr& a, const ExprPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_) return false;
+  switch (a->kind_) {
+    case ExprKind::kColumn:
+      return a->column_name_ == b->column_name_;
+    case ExprKind::kLiteral:
+      return a->literal_ == b->literal_;
+    case ExprKind::kArith:
+      if (a->arith_op_ != b->arith_op_) return false;
+      break;
+    case ExprKind::kCompare:
+      if (a->compare_op_ != b->compare_op_) return false;
+      break;
+    case ExprKind::kLogic:
+      if (a->logic_op_ != b->logic_op_) return false;
+      break;
+    case ExprKind::kNot:
+      break;
+    case ExprKind::kInList:
+      if (a->in_list_ != b->in_list_) return false;
+      break;
+    case ExprKind::kLike:
+      if (a->like_pattern_ != b->like_pattern_) return false;
+      break;
+  }
+  if (a->children_.size() != b->children_.size()) return false;
+  for (size_t i = 0; i < a->children_.size(); ++i) {
+    if (!Equals(a->children_[i], b->children_[i])) return false;
+  }
+  return true;
+}
+
+uint64_t Expr::Hash(const ExprPtr& e) {
+  if (e == nullptr) return 0;
+  uint64_t h = Mix64(static_cast<uint64_t>(e->kind_));
+  switch (e->kind_) {
+    case ExprKind::kColumn:
+      h = HashCombine(h, HashString(e->column_name_));
+      break;
+    case ExprKind::kLiteral:
+      h = HashCombine(h, e->literal_.Hash());
+      break;
+    case ExprKind::kArith:
+      h = HashCombine(h, static_cast<uint64_t>(e->arith_op_));
+      break;
+    case ExprKind::kCompare:
+      h = HashCombine(h, static_cast<uint64_t>(e->compare_op_));
+      break;
+    case ExprKind::kLogic:
+      h = HashCombine(h, static_cast<uint64_t>(e->logic_op_));
+      break;
+    case ExprKind::kNot:
+      break;
+    case ExprKind::kInList:
+      for (const Value& v : e->in_list_) h = HashCombine(h, v.Hash());
+      break;
+    case ExprKind::kLike:
+      h = HashCombine(h, HashString(e->like_pattern_));
+      break;
+  }
+  for (const ExprPtr& c : e->children_) h = HashCombine(h, Hash(c));
+  return h;
+}
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative matcher with backtracking over '%' positions.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+// --- CompiledExpr ---
+
+CompiledExpr CompiledExpr::Compile(const ExprPtr& expr, const Schema& input) {
+  CompiledExpr c;
+  c.root_ = CompileNode(expr, input);
+  c.compiled_ = true;
+  return c;
+}
+
+CompiledExpr::Node CompiledExpr::CompileNode(const ExprPtr& expr,
+                                             const Schema& input) {
+  CHECK(expr != nullptr);
+  Node n;
+  n.kind = expr->kind();
+  switch (expr->kind()) {
+    case ExprKind::kColumn:
+      n.column_index = input.IndexOfOrDie(expr->column_name());
+      break;
+    case ExprKind::kLiteral:
+      n.literal = expr->literal();
+      break;
+    case ExprKind::kArith:
+      n.arith_op = expr->arith_op();
+      break;
+    case ExprKind::kCompare:
+      n.compare_op = expr->compare_op();
+      break;
+    case ExprKind::kLogic:
+      n.logic_op = expr->logic_op();
+      break;
+    case ExprKind::kNot:
+      break;
+    case ExprKind::kInList:
+      n.in_list = expr->in_list();
+      break;
+    case ExprKind::kLike:
+      n.like_pattern = expr->like_pattern();
+      break;
+  }
+  n.children.reserve(expr->children().size());
+  for (const ExprPtr& c : expr->children()) {
+    n.children.push_back(CompileNode(c, input));
+  }
+  return n;
+}
+
+Value CompiledExpr::EvalNode(const Node& n, const Row& row) {
+  switch (n.kind) {
+    case ExprKind::kColumn:
+      DCHECK(n.column_index >= 0 &&
+             n.column_index < static_cast<int>(row.size()));
+      return row[n.column_index];
+    case ExprKind::kLiteral:
+      return n.literal;
+    case ExprKind::kArith: {
+      Value l = EvalNode(n.children[0], row);
+      Value r = EvalNode(n.children[1], row);
+      if (n.arith_op == ArithOp::kDiv) {
+        double d = r.AsDouble();
+        return Value(d == 0 ? 0.0 : l.AsDouble() / d);
+      }
+      if (n.arith_op == ArithOp::kIntDiv) {
+        int64_t d = r.AsInt();
+        if (d == 0) return Value(int64_t{0});
+        int64_t a = l.AsInt();
+        int64_t q = a / d;
+        if ((a % d != 0) && ((a < 0) != (d < 0))) --q;  // floor semantics
+        return Value(q);
+      }
+      if (l.is_int() && r.is_int()) {
+        int64_t a = l.AsInt(), b = r.AsInt();
+        switch (n.arith_op) {
+          case ArithOp::kAdd:
+            return Value(a + b);
+          case ArithOp::kSub:
+            return Value(a - b);
+          case ArithOp::kMul:
+            return Value(a * b);
+          default:
+            break;
+        }
+      }
+      double a = l.AsDouble(), b = r.AsDouble();
+      switch (n.arith_op) {
+        case ArithOp::kAdd:
+          return Value(a + b);
+        case ArithOp::kSub:
+          return Value(a - b);
+        case ArithOp::kMul:
+          return Value(a * b);
+        default:
+          break;
+      }
+      return Value(0.0);
+    }
+    case ExprKind::kCompare: {
+      Value l = EvalNode(n.children[0], row);
+      Value r = EvalNode(n.children[1], row);
+      int c = l.Compare(r);
+      bool res = false;
+      switch (n.compare_op) {
+        case CompareOp::kEq:
+          res = (c == 0);
+          break;
+        case CompareOp::kNe:
+          res = (c != 0);
+          break;
+        case CompareOp::kLt:
+          res = (c < 0);
+          break;
+        case CompareOp::kLe:
+          res = (c <= 0);
+          break;
+        case CompareOp::kGt:
+          res = (c > 0);
+          break;
+        case CompareOp::kGe:
+          res = (c >= 0);
+          break;
+      }
+      return Value(int64_t{res});
+    }
+    case ExprKind::kLogic: {
+      bool l = EvalNode(n.children[0], row).AsDouble() != 0;
+      if (n.logic_op == LogicOp::kAnd) {
+        if (!l) return Value(int64_t{0});
+        bool r = EvalNode(n.children[1], row).AsDouble() != 0;
+        return Value(int64_t{r});
+      }
+      if (l) return Value(int64_t{1});
+      bool r = EvalNode(n.children[1], row).AsDouble() != 0;
+      return Value(int64_t{r});
+    }
+    case ExprKind::kNot: {
+      bool v = EvalNode(n.children[0], row).AsDouble() != 0;
+      return Value(int64_t{!v});
+    }
+    case ExprKind::kInList: {
+      Value v = EvalNode(n.children[0], row);
+      for (const Value& cand : n.in_list) {
+        if (v == cand) return Value(int64_t{1});
+      }
+      return Value(int64_t{0});
+    }
+    case ExprKind::kLike: {
+      Value v = EvalNode(n.children[0], row);
+      return Value(int64_t{LikeMatch(v.AsString(), n.like_pattern)});
+    }
+  }
+  return Value(int64_t{0});
+}
+
+Value CompiledExpr::Eval(const Row& row) const {
+  CHECK(compiled_);
+  return EvalNode(root_, row);
+}
+
+bool CompiledExpr::EvalBool(const Row& row) const {
+  CHECK(compiled_);
+  Value v = EvalNode(root_, row);
+  return v.AsDouble() != 0;
+}
+
+}  // namespace ishare

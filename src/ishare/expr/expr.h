@@ -1,0 +1,176 @@
+#ifndef ISHARE_EXPR_EXPR_H_
+#define ISHARE_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ishare/types/schema.h"
+#include "ishare/types/value.h"
+
+namespace ishare {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind {
+  kColumn,   // reference to an input column by name
+  kLiteral,  // constant
+  kArith,    // binary arithmetic
+  kCompare,  // binary comparison, yields 0/1
+  kLogic,    // AND / OR over boolean children
+  kNot,      // boolean negation
+  kInList,   // child value IN (literal list)
+  kLike,     // SQL LIKE with '%' wildcards on a string child
+};
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kIntDiv };
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicOp { kAnd, kOr };
+
+// Immutable expression tree node. Column references are by *name* and are
+// resolved against a concrete input schema only when an expression is
+// compiled (CompiledExpr below). Name-based resolution is what makes MQO
+// plan merging and subplan decomposition safe: rewrites may change column
+// positions but never column names.
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  const std::string& column_name() const { return column_name_; }
+  const Value& literal() const { return literal_; }
+  ArithOp arith_op() const { return arith_op_; }
+  CompareOp compare_op() const { return compare_op_; }
+  LogicOp logic_op() const { return logic_op_; }
+  const std::vector<Value>& in_list() const { return in_list_; }
+  const std::string& like_pattern() const { return like_pattern_; }
+
+  // Result type of this expression when evaluated against `input`.
+  DataType OutputType(const Schema& input) const;
+
+  // All column names referenced anywhere in this tree (deduplicated).
+  void CollectColumns(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+
+  // Structural equality / hashing; used by the MQO optimizer to group
+  // identical predicates and by plan signatures.
+  static bool Equals(const ExprPtr& a, const ExprPtr& b);
+  static uint64_t Hash(const ExprPtr& e);
+
+  // --- Factory functions ---
+  static ExprPtr Column(std::string name);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Compare(CompareOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Logic(LogicOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Negate(ExprPtr e);
+  static ExprPtr In(ExprPtr child, std::vector<Value> list);
+  static ExprPtr Like(ExprPtr child, std::string pattern);
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  std::vector<ExprPtr> children_;
+  std::string column_name_;
+  Value literal_;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  CompareOp compare_op_ = CompareOp::kEq;
+  LogicOp logic_op_ = LogicOp::kAnd;
+  std::vector<Value> in_list_;
+  std::string like_pattern_;
+};
+
+// Convenience builders so query definitions read close to SQL.
+inline ExprPtr Col(std::string name) { return Expr::Column(std::move(name)); }
+inline ExprPtr Lit(int64_t v) { return Expr::Literal(Value(v)); }
+inline ExprPtr Lit(int v) { return Expr::Literal(Value(int64_t{v})); }
+inline ExprPtr Lit(double v) { return Expr::Literal(Value(v)); }
+inline ExprPtr Lit(const char* v) { return Expr::Literal(Value(v)); }
+inline ExprPtr Add(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr Sub(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr Mul(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr Div(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kDiv, std::move(a), std::move(b));
+}
+// Integer (floor) division; both operands must be integers.
+inline ExprPtr IntDiv(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kIntDiv, std::move(a), std::move(b));
+}
+inline ExprPtr Eq(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr Ne(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kNe, std::move(a), std::move(b));
+}
+inline ExprPtr Lt(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr Le(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr Gt(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr Ge(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr And(ExprPtr a, ExprPtr b) {
+  return Expr::Logic(LogicOp::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr Or(ExprPtr a, ExprPtr b) {
+  return Expr::Logic(LogicOp::kOr, std::move(a), std::move(b));
+}
+inline ExprPtr Not(ExprPtr e) { return Expr::Negate(std::move(e)); }
+inline ExprPtr Between(ExprPtr e, ExprPtr lo, ExprPtr hi) {
+  ExprPtr lower = Ge(e, std::move(lo));
+  ExprPtr upper = Le(std::move(e), std::move(hi));
+  return And(std::move(lower), std::move(upper));
+}
+
+// SQL LIKE pattern match supporting '%' (any substring) and '_' (any char).
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+// An expression resolved against a concrete schema; evaluation does no name
+// lookups. Compile CHECK-fails on unknown column names or type errors that
+// are detectable statically.
+class CompiledExpr {
+ public:
+  CompiledExpr() = default;
+  static CompiledExpr Compile(const ExprPtr& expr, const Schema& input);
+
+  Value Eval(const Row& row) const;
+  // Evaluates and interprets the result as a boolean (non-zero numeric).
+  bool EvalBool(const Row& row) const;
+
+ private:
+  struct Node {
+    ExprKind kind;
+    int column_index = -1;
+    Value literal;
+    ArithOp arith_op = ArithOp::kAdd;
+    CompareOp compare_op = CompareOp::kEq;
+    LogicOp logic_op = LogicOp::kAnd;
+    std::vector<Value> in_list;
+    std::string like_pattern;
+    std::vector<Node> children;
+  };
+
+  static Node CompileNode(const ExprPtr& expr, const Schema& input);
+  static Value EvalNode(const Node& n, const Row& row);
+
+  Node root_;
+  bool compiled_ = false;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_EXPR_EXPR_H_

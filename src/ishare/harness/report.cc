@@ -1,0 +1,71 @@
+#include "ishare/harness/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "ishare/common/check.h"
+
+namespace ishare {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  CHECK_EQ(row.size(), rows_[0].size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(rows_[0].size(), 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c > 0) os << "  ";
+      os << rows_[r][c];
+      os << std::string(width[c] - rows_[r][c].size(), ' ');
+    }
+    os << "\n";
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < width.size(); ++c) {
+        total += width[c] + (c > 0 ? 2 : 0);
+      }
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void PrintApproachComparison(const std::string& title,
+                             const std::vector<ExperimentResult>& results) {
+  std::printf("\n== %s ==\n", title.c_str());
+  TextTable t({"approach", "total_exec_s", "total_work", "opt_s",
+               "missed_mean_%", "missed_mean_s", "missed_max_%",
+               "missed_max_s"});
+  for (const ExperimentResult& r : results) {
+    t.AddRow({ApproachName(r.approach), TextTable::Num(r.total_seconds, 3),
+              TextTable::Num(r.total_work, 0),
+              TextTable::Num(r.optimization_seconds, 3),
+              TextTable::Num(r.MeanMissedRel(), 2),
+              TextTable::Num(r.MeanMissedAbs(), 4),
+              TextTable::Num(r.MaxMissedRel(), 2),
+              TextTable::Num(r.MaxMissedAbs(), 4)});
+  }
+  t.Print();
+}
+
+}  // namespace ishare

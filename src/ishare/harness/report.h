@@ -1,0 +1,36 @@
+#ifndef ISHARE_HARNESS_REPORT_H_
+#define ISHARE_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "ishare/harness/experiment.h"
+
+namespace ishare {
+
+// Plain-text aligned table writer for bench output. First row is the
+// header; columns are padded to their widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  std::string ToString() const;
+  void Print() const;
+
+  // Formats a double with `prec` digits after the point.
+  static std::string Num(double v, int prec = 2);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// The standard comparison block used by most benches: one row per
+// approach with total execution time, total work, optimization time and
+// missed-latency statistics (the paper's Table 1/2/3 columns).
+void PrintApproachComparison(const std::string& title,
+                             const std::vector<ExperimentResult>& results);
+
+}  // namespace ishare
+
+#endif  // ISHARE_HARNESS_REPORT_H_

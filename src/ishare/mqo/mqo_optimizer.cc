@@ -1,0 +1,247 @@
+#include "ishare/mqo/mqo_optimizer.h"
+
+#include <functional>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ishare/cost/simulator.h"
+
+namespace ishare {
+
+namespace {
+
+// Signature of one node excluding predicates/projections (those may differ
+// between sharable plans) and excluding children (children identity is
+// appended separately, after they have been merged).
+std::string LocalSig(const PlanNode& n) {
+  std::ostringstream os;
+  switch (n.kind) {
+    case PlanKind::kScan:
+      os << "scan:" << n.table_name;
+      break;
+    case PlanKind::kFilter:
+      os << "filter";
+      break;
+    case PlanKind::kProject:
+      os << "project";
+      break;
+    case PlanKind::kJoin:
+      os << "join:" << JoinTypeName(n.join_type) << ":";
+      for (const auto& k : n.left_keys) os << k << ",";
+      os << ":";
+      for (const auto& k : n.right_keys) os << k << ",";
+      break;
+    case PlanKind::kAggregate:
+      os << "agg:";
+      for (const auto& g : n.group_by) os << g << ",";
+      os << ":";
+      for (const AggSpec& a : n.aggregates) {
+        os << AggKindName(a.kind) << "(" << (a.arg ? a.arg->ToString() : "*")
+           << ")as" << a.alias << ",";
+      }
+      break;
+    case PlanKind::kSubplanInput:
+      os << "input:" << n.input_subplan;
+      break;
+  }
+  return os.str();
+}
+
+// A query occupies exactly one predicate slot on a shared select. When the
+// same query reaches `target` twice with different effective predicates
+// (e.g. Q21 reads lineitem both unfiltered and late-only), the nodes must
+// not merge. Both-null and structurally equal predicates are compatible.
+bool FilterPredicatesCompatible(const PlanNode& target, const PlanNode& node) {
+  QuerySet common = target.queries.Intersect(node.queries);
+  for (QueryId q : common.ToIds()) {
+    auto ti = target.predicates.find(q);
+    auto ni = node.predicates.find(q);
+    ExprPtr tp = ti == target.predicates.end() ? nullptr : ti->second;
+    ExprPtr np = ni == node.predicates.end() ? nullptr : ni->second;
+    if (tp == nullptr && np == nullptr) continue;
+    if (!Expr::Equals(tp, np)) return false;
+  }
+  return true;
+}
+
+// Whether `node`'s projections can be merged into `target` (no alias maps
+// to two different expressions).
+bool ProjectionsCompatible(const PlanNode& target, const PlanNode& node) {
+  for (const NamedExpr& ne : node.projections) {
+    for (const NamedExpr& te : target.projections) {
+      if (te.alias == ne.alias && !Expr::Equals(te.expr, ne.expr)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void MergeProjections(PlanNode* target, const PlanNode& node) {
+  for (const NamedExpr& ne : node.projections) {
+    bool found = false;
+    for (const NamedExpr& te : target->projections) {
+      if (te.alias == ne.alias) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) target->projections.push_back(ne);
+  }
+}
+
+// Adds `node`'s per-query predicates into `target`, sharing predicate
+// objects that are structurally identical so the runtime evaluates each
+// distinct predicate once per tuple.
+void MergePredicates(PlanNode* target, const PlanNode& node) {
+  for (const auto& [q, pred] : node.predicates) {
+    ExprPtr to_add = pred;
+    for (const auto& [tq, tpred] : target->predicates) {
+      if (Expr::Equals(tpred, pred)) {
+        to_add = tpred;
+        break;
+      }
+    }
+    target->predicates[q] = to_add;
+  }
+}
+
+// Recomputes output schemas over the whole DAG, children first. Needed
+// because project unions can widen schemas after parents were created.
+void RecomputeSchemasDag(const std::vector<QueryPlan>& roots) {
+  std::unordered_set<const PlanNode*> done;
+  std::function<void(const PlanNodePtr&)> visit = [&](const PlanNodePtr& n) {
+    if (done.count(n.get()) > 0) return;
+    for (const PlanNodePtr& c : n->children) visit(c);
+    n->RecomputeSchema();
+    done.insert(n.get());
+  };
+  for (const QueryPlan& q : roots) visit(q.root);
+}
+
+// Estimated one-batch cost of a (merged) subtree; scan leaves only.
+double SubtreeBatchCost(const PlanNodePtr& subtree, const Catalog& catalog,
+                        const ExecOptions& exec) {
+  SimResult r = SimulateSubplan(subtree, catalog, /*pace=*/1, {}, exec);
+  return r.private_total_work;
+}
+
+}  // namespace
+
+std::vector<QueryPlan> MqoOptimizer::Merge(
+    const std::vector<QueryPlan>& queries) const {
+  // signature+children-identity -> merged node.
+  std::map<std::string, PlanNodePtr> merged;
+
+  std::function<PlanNodePtr(const PlanNodePtr&)> merge_node =
+      [&](const PlanNodePtr& n) -> PlanNodePtr {
+    std::vector<PlanNodePtr> kids;
+    kids.reserve(n->children.size());
+    for (const PlanNodePtr& c : n->children) kids.push_back(merge_node(c));
+
+    std::ostringstream key;
+    key << LocalSig(*n);
+    for (const PlanNodePtr& k : kids) key << "#" << k.get();
+
+    auto it = merged.find(key.str());
+    if (it != merged.end()) {
+      PlanNodePtr m = it->second;
+      if ((n->kind == PlanKind::kProject && !ProjectionsCompatible(*m, *n)) ||
+          (n->kind == PlanKind::kFilter &&
+           !FilterPredicatesCompatible(*m, *n))) {
+        // Conflict: this node cannot join the shared node.
+      } else {
+        m->queries = m->queries.Union(n->queries);
+        if (n->kind == PlanKind::kFilter) MergePredicates(m.get(), *n);
+        if (n->kind == PlanKind::kProject) MergeProjections(m.get(), *n);
+        return m;
+      }
+    }
+    auto fresh = std::make_shared<PlanNode>(*n);
+    fresh->children = kids;
+    if (it == merged.end()) merged[key.str()] = fresh;
+    return fresh;
+  };
+
+  std::vector<QueryPlan> out;
+  out.reserve(queries.size());
+  for (const QueryPlan& q : queries) {
+    out.push_back(QueryPlan{q.id, q.name, merge_node(q.root)});
+  }
+  RecomputeSchemasDag(out);
+
+  if (opts_.account_materialization) {
+    // Unsharing a node can newly expose its children as multi-parent, so
+    // iterate to a fixpoint. Nodes judged worth sharing are remembered and
+    // not re-examined.
+    std::unordered_set<const PlanNode*> keep_shared;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::unordered_map<const PlanNode*, std::vector<PlanNode*>> parents;
+      std::unordered_set<const PlanNode*> visited;
+      std::function<void(const PlanNodePtr&)> walk =
+          [&](const PlanNodePtr& n) {
+            if (!visited.insert(n.get()).second) return;
+            for (const PlanNodePtr& c : n->children) {
+              parents[c.get()].push_back(n.get());
+              walk(c);
+            }
+          };
+      for (const QueryPlan& q : out) walk(q.root);
+
+      for (auto& [node_raw, plist] : parents) {
+        if (plist.size() < 2 || node_raw->kind == PlanKind::kScan) continue;
+        if (keep_shared.count(node_raw) > 0) continue;
+        // Find the shared_ptr through any parent.
+        PlanNodePtr node;
+        for (PlanNode* p : plist) {
+          for (const PlanNodePtr& c : p->children) {
+            if (c.get() == node_raw) node = c;
+          }
+          if (node != nullptr) break;
+        }
+        CHECK(node != nullptr);
+
+        double shared_cost = SubtreeBatchCost(node, *catalog_, opts_.exec);
+        SimResult sim = SimulateSubplan(node, *catalog_, 1, {}, opts_.exec);
+        double mat_cost = sim.out_card *
+                          (1.0 + static_cast<double>(plist.size())) *
+                          opts_.materialization_cost_per_tuple;
+        double separate_cost = 0;
+        for (PlanNode* p : plist) {
+          PlanNodePtr restricted = PlanNode::CloneRestricted(node, p->queries);
+          separate_cost += SubtreeBatchCost(restricted, *catalog_, opts_.exec);
+        }
+        double benefit = separate_cost - shared_cost - mat_cost;
+        if (benefit >= 0) {
+          keep_shared.insert(node_raw);
+          continue;
+        }
+        // Sharing does not pay for the materialization: give each parent a
+        // private shallow copy (children stay shared).
+        for (PlanNode* p : plist) {
+          auto copy = std::make_shared<PlanNode>(*node);
+          copy->queries = node->queries.Intersect(p->queries);
+          if (copy->kind == PlanKind::kFilter) {
+            copy->predicates.clear();
+            for (const auto& [q, pred] : node->predicates) {
+              if (p->queries.Contains(q)) copy->predicates[q] = pred;
+            }
+          }
+          for (PlanNodePtr& c : p->children) {
+            if (c.get() == node.get()) c = copy;
+          }
+        }
+        changed = true;
+        break;  // parent map is stale now; rebuild and rescan
+      }
+    }
+    RecomputeSchemasDag(out);
+  }
+  return out;
+}
+
+}  // namespace ishare

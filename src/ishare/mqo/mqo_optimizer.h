@@ -1,0 +1,48 @@
+#ifndef ISHARE_MQO_MQO_OPTIMIZER_H_
+#define ISHARE_MQO_MQO_OPTIMIZER_H_
+
+#include <vector>
+
+#include "ishare/catalog/catalog.h"
+#include "ishare/exec/metrics.h"
+#include "ishare/plan/plan.h"
+
+namespace ishare {
+
+struct MqoOptions {
+  // When true, sharing a subtree is rejected if the estimated saving does
+  // not cover the cost of materializing its output for multiple parents
+  // (the Roy et al. [40] extension the paper adopts in Sec. 5.1).
+  bool account_materialization = true;
+  // Cost units charged per materialized tuple per reader (the buffer write
+  // is charged once, each parent's read once more).
+  double materialization_cost_per_tuple = 1.0;
+  ExecOptions exec;
+};
+
+// The state-of-the-art MQO optimizer iShare builds on [17]: merges
+// single-query plan trees into a shared DAG bottom-up using structural
+// string signatures. Two subplans are sharable iff their structure and
+// operators match exactly, except that select and project operators may
+// differ: differing selects become per-query marking predicates on the
+// shared Filter node, and differing projects union their expression lists
+// (Sec. 2.3).
+class MqoOptimizer {
+ public:
+  MqoOptimizer(const Catalog* catalog, MqoOptions opts = MqoOptions())
+      : catalog_(catalog), opts_(opts) {
+    CHECK(catalog != nullptr);
+  }
+
+  // Returns per-query roots into a freshly built merged DAG. Input plans
+  // are not modified.
+  std::vector<QueryPlan> Merge(const std::vector<QueryPlan>& queries) const;
+
+ private:
+  const Catalog* catalog_;
+  MqoOptions opts_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_MQO_MQO_OPTIMIZER_H_

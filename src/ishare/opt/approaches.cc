@@ -1,0 +1,189 @@
+#include "ishare/opt/approaches.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace ishare {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Undirected connected components of the subplan graph: Share-Uniform
+// assigns one pace per separate shared plan (Sec. 5.2).
+std::vector<std::vector<int>> ConnectedComponents(const SubplanGraph& g) {
+  int n = g.num_subplans();
+  std::vector<int> comp(n, -1);
+  std::vector<std::vector<int>> out;
+  for (int i = 0; i < n; ++i) {
+    if (comp[i] >= 0) continue;
+    std::vector<int> stack{i};
+    std::vector<int> members;
+    comp[i] = static_cast<int>(out.size());
+    while (!stack.empty()) {
+      int x = stack.back();
+      stack.pop_back();
+      members.push_back(x);
+      for (int y : g.subplan(x).children) {
+        if (comp[y] < 0) {
+          comp[y] = comp[i];
+          stack.push_back(y);
+        }
+      }
+      for (int y : g.subplan(x).parents) {
+        if (comp[y] < 0) {
+          comp[y] = comp[i];
+          stack.push_back(y);
+        }
+      }
+    }
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+// One pace for a whole component: the smallest pace meeting every
+// constraint of the component's queries; if none does (non-incrementable
+// queries), the pace minimizing the total missed final work.
+void FindUniformPace(CostEstimator* est, const std::vector<double>& abs,
+                     const std::vector<int>& component, int max_pace,
+                     PaceConfig* paces) {
+  const SubplanGraph& g = est->graph();
+  QuerySet queries;
+  for (int s : component) queries = queries.Union(g.subplan(s).queries);
+
+  double best_missed = std::numeric_limits<double>::infinity();
+  int best_pace = 1;
+  for (int p = 1; p <= max_pace; ++p) {
+    for (int s : component) (*paces)[s] = p;
+    PlanCost c = est->Estimate(*paces);
+    double missed = 0;
+    for (QueryId q : queries.ToIds()) {
+      missed += std::max(0.0, c.query_final_work[q] - abs[q]);
+    }
+    if (missed <= kEps) {
+      best_pace = p;
+      best_missed = 0;
+      break;
+    }
+    if (missed < best_missed - kEps) {
+      best_missed = missed;
+      best_pace = p;
+    }
+  }
+  for (int s : component) (*paces)[s] = best_pace;
+}
+
+}  // namespace
+
+const char* ApproachName(Approach a) {
+  switch (a) {
+    case Approach::kNoShareUniform:
+      return "NoShare-Uniform";
+    case Approach::kNoShareNonuniform:
+      return "NoShare-Nonuniform";
+    case Approach::kShareUniform:
+      return "Share-Uniform";
+    case Approach::kIShareNoUnshare:
+      return "iShare (w/o unshare)";
+    case Approach::kIShare:
+      return "iShare";
+    case Approach::kIShareBruteForce:
+      return "iShare (Brute-Force)";
+  }
+  return "?";
+}
+
+std::vector<double> AbsoluteConstraints(const std::vector<QueryPlan>& queries,
+                                        const Catalog& catalog,
+                                        const std::vector<double>& rel,
+                                        ExecOptions exec) {
+  int nq = 0;
+  for (const QueryPlan& q : queries) nq = std::max(nq, q.id + 1);
+  CHECK_EQ(static_cast<int>(rel.size()), nq);
+  std::vector<double> abs(nq, std::numeric_limits<double>::infinity());
+  for (const QueryPlan& q : queries) {
+    abs[q.id] = rel[q.id] * EstimateStandaloneBatchWork(q, catalog, exec);
+  }
+  return abs;
+}
+
+OptimizedPlan OptimizePlan(Approach a, const std::vector<QueryPlan>& queries,
+                           const Catalog& catalog,
+                           const std::vector<double>& rel_constraints,
+                           ApproachOptions opts) {
+  OptimizedPlan out;
+  out.approach = a;
+  out.abs_constraints =
+      AbsoluteConstraints(queries, catalog, rel_constraints, opts.exec);
+
+  auto start = std::chrono::steady_clock::now();
+
+  switch (a) {
+    case Approach::kNoShareUniform: {
+      out.graph = SubplanGraph::Build(queries);
+      break;
+    }
+    case Approach::kNoShareNonuniform: {
+      out.graph = SubplanGraph::Build(queries, [](const PlanNode& n) {
+        return n.kind == PlanKind::kAggregate;  // cut at blocking operators
+      });
+      break;
+    }
+    case Approach::kShareUniform:
+    case Approach::kIShareNoUnshare:
+    case Approach::kIShare:
+    case Approach::kIShareBruteForce: {
+      MqoOptimizer mqo(&catalog, opts.mqo);
+      std::vector<QueryPlan> merged = mqo.Merge(queries);
+      out.graph = SubplanGraph::Build(merged);
+      break;
+    }
+  }
+  CHECK(out.graph.Validate().ok());
+
+  CostEstimator est(&out.graph, &catalog, opts.exec, opts.memoized_estimator);
+
+  if (a == Approach::kShareUniform) {
+    out.paces.assign(out.graph.num_subplans(), 1);
+    for (const std::vector<int>& comp : ConnectedComponents(out.graph)) {
+      FindUniformPace(&est, out.abs_constraints, comp, opts.max_pace,
+                      &out.paces);
+    }
+    out.est_cost = est.Estimate(out.paces);
+  } else {
+    PaceOptimizer po(&est, out.abs_constraints,
+                     PaceOptimizerOptions{opts.max_pace,
+                                          opts.deadline_seconds});
+    PaceSearchResult r = po.FindPaceConfiguration();
+    out.paces = r.paces;
+    out.est_cost = r.cost;
+    out.timed_out = r.timed_out;
+  }
+  out.memo_hits = est.memo_hits();
+  out.memo_misses = est.memo_misses();
+
+  if (a == Approach::kIShare || a == Approach::kIShareBruteForce) {
+    DecomposerOptions dopts;
+    dopts.max_pace = opts.max_pace;
+    dopts.brute_force = (a == Approach::kIShareBruteForce);
+    dopts.enable_partial = opts.enable_partial;
+    dopts.memoized_estimator = opts.memoized_estimator;
+    dopts.deadline_seconds = opts.deadline_seconds;
+    Decomposer dec(&catalog, out.abs_constraints, opts.exec, dopts);
+    DecomposeResult dr = dec.Optimize(out.graph, out.paces);
+    out.timed_out = out.timed_out || dr.timed_out;
+    out.graph = std::move(dr.graph);
+    out.paces = std::move(dr.paces);
+    out.est_cost = std::move(dr.cost);
+    out.decompose_stats = dr.stats;
+  }
+
+  auto end = std::chrono::steady_clock::now();
+  out.optimization_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return out;
+}
+
+}  // namespace ishare

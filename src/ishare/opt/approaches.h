@@ -1,0 +1,68 @@
+#ifndef ISHARE_OPT_APPROACHES_H_
+#define ISHARE_OPT_APPROACHES_H_
+
+#include <string>
+#include <vector>
+
+#include "ishare/mqo/mqo_optimizer.h"
+#include "ishare/opt/decomposition.h"
+
+namespace ishare {
+
+// The approaches compared throughout Sec. 5.
+enum class Approach {
+  kNoShareUniform,     // each query separate, one pace per query
+  kNoShareNonuniform,  // each query separate, cut at blocking ops [44]
+  kShareUniform,       // MQO shared plan(s) [17], one pace per plan
+  kIShareNoUnshare,    // shared plan + nonuniform paces (Sec. 3)
+  kIShare,             // + decomposition (Sec. 4)
+  kIShareBruteForce,   // decomposition via exhaustive split search
+};
+
+const char* ApproachName(Approach a);
+
+struct ApproachOptions {
+  int max_pace = 100;  // J
+  ExecOptions exec;
+  MqoOptions mqo;
+  // false reproduces the iShare (w/o memo) ablation of Fig. 15.
+  bool memoized_estimator = true;
+  // Partial decomposition (Sec. 4.3) in the iShare variants.
+  bool enable_partial = true;
+  // Wall-clock budget for the optimization; 0 means unlimited. Exceeding
+  // it marks the plan as timed out (the DNF entries of Fig. 15).
+  double deadline_seconds = 0;
+};
+
+// The output of one optimizer run, ready for execution.
+struct OptimizedPlan {
+  Approach approach = Approach::kIShare;
+  SubplanGraph graph;
+  PaceConfig paces;
+  PlanCost est_cost;
+  std::vector<double> abs_constraints;
+  double optimization_seconds = 0;
+  DecomposeStats decompose_stats;
+  int64_t memo_hits = 0;
+  int64_t memo_misses = 0;
+  bool timed_out = false;
+};
+
+// Converts relative final work constraints (Sec. 2.1) into absolute ones:
+// L(q) = rel[q] * estimated cost of running q standalone in one batch.
+std::vector<double> AbsoluteConstraints(const std::vector<QueryPlan>& queries,
+                                        const Catalog& catalog,
+                                        const std::vector<double>& rel,
+                                        ExecOptions exec = ExecOptions());
+
+// Runs the given approach end to end: plan construction (with or without
+// MQO merging), pace search, and (for iShare variants) decomposition.
+// `rel_constraints` is indexed by query id.
+OptimizedPlan OptimizePlan(Approach a, const std::vector<QueryPlan>& queries,
+                           const Catalog& catalog,
+                           const std::vector<double>& rel_constraints,
+                           ApproachOptions opts = ApproachOptions());
+
+}  // namespace ishare
+
+#endif  // ISHARE_OPT_APPROACHES_H_

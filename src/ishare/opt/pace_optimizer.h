@@ -1,0 +1,68 @@
+#ifndef ISHARE_OPT_PACE_OPTIMIZER_H_
+#define ISHARE_OPT_PACE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "ishare/cost/estimator.h"
+
+namespace ishare {
+
+// Eq. 1: the benefit of the eagerer configuration (cost `eager`) over the
+// lazier one (cost `lazy`) is the reduction in *missed* final work with
+// respect to the per-query constraints L(q).
+double PaceBenefit(const PlanCost& eager, const PlanCost& lazy,
+                   const std::vector<double>& constraints);
+
+// Eq. 2: iShare's incrementability — benefit per unit of extra total work.
+// Returns +infinity when the eager configuration is both beneficial and no
+// more expensive.
+double Incrementability(const PlanCost& eager, const PlanCost& lazy,
+                        const std::vector<double>& constraints);
+
+struct PaceOptimizerOptions {
+  int max_pace = 100;  // J
+  // Wall-clock budget for one search; 0 means unlimited. Searches that
+  // exceed it stop early and set PaceSearchResult::timed_out (used to mark
+  // DNF entries in the Fig. 15 overhead experiment).
+  double deadline_seconds = 0;
+};
+
+struct PaceSearchResult {
+  PaceConfig paces;
+  PlanCost cost;
+  int iterations = 0;
+  bool timed_out = false;
+};
+
+// Greedy pace-configuration search (Sec. 3.2). Both directions respect the
+// engine requirement that a parent subplan's pace never exceeds any of its
+// children's paces.
+class PaceOptimizer {
+ public:
+  // `constraints` are absolute final work constraints indexed by query id.
+  PaceOptimizer(CostEstimator* estimator, std::vector<double> constraints,
+                PaceOptimizerOptions opts = PaceOptimizerOptions());
+
+  // Starts at P_1 (batch execution everywhere) and repeatedly raises the
+  // pace of the subplan with the highest incrementability until every
+  // query meets its constraint, every pace reaches max_pace, or no single
+  // increment reduces any missed final work.
+  PaceSearchResult FindPaceConfiguration();
+
+  // Post-decomposition refinement (Sec. 4.2): starts from `initial` and
+  // repeatedly lowers the pace of the subplan with the *lowest*
+  // incrementability, as long as no query's constraint becomes (more)
+  // violated than it already is.
+  PaceSearchResult RefineDecreasing(const PaceConfig& initial);
+
+ private:
+  bool ConstraintsMet(const PlanCost& cost) const;
+
+  CostEstimator* estimator_;
+  std::vector<double> constraints_;
+  PaceOptimizerOptions opts_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_OPT_PACE_OPTIMIZER_H_

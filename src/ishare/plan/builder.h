@@ -1,0 +1,74 @@
+#ifndef ISHARE_PLAN_BUILDER_H_
+#define ISHARE_PLAN_BUILDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ishare/plan/plan.h"
+
+namespace ishare {
+
+// Convenience builder for single-query logical plans. All nodes are tagged
+// with the builder's query id.
+//
+// Convention used throughout the workload: every scan is wrapped in a
+// Filter (with a null, i.e. always-true, predicate when the query does not
+// restrict that table). This canonical shape maximizes the structural
+// sharing the MQO optimizer can discover, since filter predicates are
+// excluded from structural signatures.
+class PlanBuilder {
+ public:
+  PlanBuilder(const Catalog* catalog, QueryId query)
+      : catalog_(catalog), query_(query) {
+    CHECK(catalog != nullptr);
+  }
+
+  QueryId query() const { return query_; }
+
+  PlanNodePtr Scan(const std::string& table) const {
+    return PlanNode::MakeScan(*catalog_, table, QuerySet::Single(query_));
+  }
+
+  // Filter(Scan(table)); pred may be null for "no restriction".
+  PlanNodePtr ScanFiltered(const std::string& table, ExprPtr pred) const {
+    return Filter(Scan(table), std::move(pred));
+  }
+
+  PlanNodePtr Filter(PlanNodePtr child, ExprPtr pred) const {
+    std::map<QueryId, ExprPtr> preds;
+    if (pred != nullptr) preds[query_] = std::move(pred);
+    return PlanNode::MakeFilter(std::move(child), std::move(preds),
+                                QuerySet::Single(query_));
+  }
+
+  PlanNodePtr Project(PlanNodePtr child,
+                      std::vector<NamedExpr> projections) const {
+    return PlanNode::MakeProject(std::move(child), std::move(projections),
+                                 QuerySet::Single(query_));
+  }
+
+  PlanNodePtr Join(PlanNodePtr left, PlanNodePtr right,
+                   std::vector<std::string> left_keys,
+                   std::vector<std::string> right_keys,
+                   JoinType type = JoinType::kInner) const {
+    return PlanNode::MakeJoin(std::move(left), std::move(right),
+                              std::move(left_keys), std::move(right_keys),
+                              type, QuerySet::Single(query_));
+  }
+
+  PlanNodePtr Aggregate(PlanNodePtr child, std::vector<std::string> group_by,
+                        std::vector<AggSpec> aggregates) const {
+    return PlanNode::MakeAggregate(std::move(child), std::move(group_by),
+                                   std::move(aggregates),
+                                   QuerySet::Single(query_));
+  }
+
+ private:
+  const Catalog* catalog_;
+  QueryId query_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_PLAN_BUILDER_H_

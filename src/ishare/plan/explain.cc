@@ -1,0 +1,127 @@
+#include "ishare/plan/explain.h"
+
+#include <functional>
+#include <sstream>
+
+namespace ishare {
+
+namespace {
+
+// Escapes a label for DOT output.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string ShortLabel(const PlanNode& n) {
+  std::ostringstream os;
+  switch (n.kind) {
+    case PlanKind::kScan:
+      os << "Scan " << n.table_name;
+      break;
+    case PlanKind::kFilter: {
+      os << "σ";
+      if (n.predicates.empty()) {
+        os << " (pass)";
+      } else {
+        for (const auto& [q, pred] : n.predicates) {
+          os << "\nq" << q << ": " << (pred ? pred->ToString() : "true");
+        }
+      }
+      break;
+    }
+    case PlanKind::kProject:
+      os << "π (" << n.projections.size() << " exprs)";
+      break;
+    case PlanKind::kJoin:
+      os << "⋈ " << JoinTypeName(n.join_type);
+      for (size_t i = 0; i < n.left_keys.size(); ++i) {
+        os << "\n" << n.left_keys[i] << "=" << n.right_keys[i];
+      }
+      break;
+    case PlanKind::kAggregate: {
+      os << "γ";
+      for (const auto& g : n.group_by) os << " " << g;
+      for (const AggSpec& a : n.aggregates) {
+        os << "\n" << AggKindName(a.kind) << "→" << a.alias;
+      }
+      break;
+    }
+    case PlanKind::kSubplanInput:
+      os << "buffer #" << n.input_subplan;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string ToDot(const SubplanGraph& graph, const std::vector<int>& paces) {
+  std::ostringstream os;
+  os << "digraph shared_plan {\n";
+  os << "  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  int next_id = 0;
+
+  for (int s = 0; s < graph.num_subplans(); ++s) {
+    const Subplan& sp = graph.subplan(s);
+    os << "  subgraph cluster_" << s << " {\n";
+    os << "    label=\"subplan " << s << " " << Escape(sp.queries.ToString());
+    if (s < static_cast<int>(paces.size())) os << " pace=" << paces[s];
+    if (!sp.root_of.empty()) {
+      os << " roots " << Escape(sp.root_of.ToString());
+    }
+    os << "\";\n    style=rounded;\n";
+
+    // Emit nodes; record ids so edges can be drawn, including the dashed
+    // cross-subplan buffer edges.
+    std::function<int(const PlanNodePtr&)> emit =
+        [&](const PlanNodePtr& n) -> int {
+      int id = next_id++;
+      os << "    n" << id << " [label=\"" << Escape(ShortLabel(*n)) << "\"";
+      if (n->kind == PlanKind::kSubplanInput) {
+        os << ", shape=cds, style=dashed";
+      }
+      os << "];\n";
+      for (const PlanNodePtr& c : n->children) {
+        int cid = emit(c);
+        os << "    n" << cid << " -> n" << id << ";\n";
+      }
+      return id;
+    };
+    emit(sp.root);
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ExplainSummary(const SubplanGraph& graph,
+                           const std::vector<int>& paces) {
+  std::ostringstream os;
+  for (int s = 0; s < graph.num_subplans(); ++s) {
+    const Subplan& sp = graph.subplan(s);
+    os << "#" << s << " " << sp.queries.ToString();
+    if (s < static_cast<int>(paces.size())) os << " pace=" << paces[s];
+    os << " ops=" << CountOperators(sp.root);
+    os << " children=[";
+    for (size_t i = 0; i < sp.children.size(); ++i) {
+      if (i > 0) os << ",";
+      os << sp.children[i];
+    }
+    os << "]";
+    if (!sp.root_of.empty()) os << " roots=" << sp.root_of.ToString();
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ishare

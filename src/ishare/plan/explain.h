@@ -1,0 +1,26 @@
+#ifndef ISHARE_PLAN_EXPLAIN_H_
+#define ISHARE_PLAN_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "ishare/plan/subplan_graph.h"
+
+namespace ishare {
+
+// Graphviz DOT rendering of a subplan graph: one cluster per subplan
+// (labelled with its query set, and its pace when `paces` is non-empty),
+// operator nodes inside, dashed edges across subplan buffers. Paste the
+// output into any DOT viewer to see the shared plan's structure and how
+// iShare paced or decomposed it.
+std::string ToDot(const SubplanGraph& graph,
+                  const std::vector<int>& paces = {});
+
+// One-line-per-subplan EXPLAIN summary: queries, pace, operator count,
+// children — a compact alternative to SubplanGraph::ToString().
+std::string ExplainSummary(const SubplanGraph& graph,
+                           const std::vector<int>& paces = {});
+
+}  // namespace ishare
+
+#endif  // ISHARE_PLAN_EXPLAIN_H_

@@ -1,0 +1,382 @@
+#include "ishare/plan/plan.h"
+
+#include <sstream>
+
+namespace ishare {
+
+const char* PlanKindName(PlanKind k) {
+  switch (k) {
+    case PlanKind::kScan:
+      return "Scan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kSubplanInput:
+      return "SubplanInput";
+  }
+  return "?";
+}
+
+const char* AggKindName(AggKind k) {
+  switch (k) {
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kCountDistinct:
+      return "COUNT_DISTINCT";
+  }
+  return "?";
+}
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner:
+      return "INNER";
+    case JoinType::kLeftSemi:
+      return "SEMI";
+    case JoinType::kLeftAnti:
+      return "ANTI";
+  }
+  return "?";
+}
+
+namespace {
+
+DataType AggOutputType(const AggSpec& spec, const Schema& input) {
+  switch (spec.kind) {
+    case AggKind::kCount:
+    case AggKind::kCountDistinct:
+      return DataType::kInt64;
+    case AggKind::kAvg:
+      return DataType::kFloat64;
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      CHECK(spec.arg != nullptr) << AggKindName(spec.kind) << " needs an arg";
+      return spec.arg->OutputType(input);
+  }
+  return DataType::kFloat64;
+}
+
+}  // namespace
+
+PlanNodePtr PlanNode::MakeScan(const Catalog& catalog,
+                               const std::string& table, QuerySet queries) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kScan;
+  n->table_name = table;
+  n->queries = queries;
+  n->output_schema = catalog.GetSchema(table);
+  return n;
+}
+
+PlanNodePtr PlanNode::MakeFilter(PlanNodePtr child,
+                                 std::map<QueryId, ExprPtr> predicates,
+                                 QuerySet queries) {
+  CHECK(child != nullptr);
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kFilter;
+  n->output_schema = child->output_schema;
+  n->children = {std::move(child)};
+  n->predicates = std::move(predicates);
+  n->queries = queries;
+  return n;
+}
+
+PlanNodePtr PlanNode::MakeProject(PlanNodePtr child,
+                                  std::vector<NamedExpr> projections,
+                                  QuerySet queries) {
+  CHECK(child != nullptr);
+  CHECK(!projections.empty());
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kProject;
+  std::vector<Field> fields;
+  fields.reserve(projections.size());
+  for (const NamedExpr& ne : projections) {
+    CHECK(ne.expr != nullptr);
+    fields.push_back(Field{ne.alias, ne.expr->OutputType(child->output_schema)});
+  }
+  n->output_schema = Schema(std::move(fields));
+  n->children = {std::move(child)};
+  n->projections = std::move(projections);
+  n->queries = queries;
+  return n;
+}
+
+PlanNodePtr PlanNode::MakeJoin(PlanNodePtr left, PlanNodePtr right,
+                               std::vector<std::string> left_keys,
+                               std::vector<std::string> right_keys,
+                               JoinType type, QuerySet queries) {
+  CHECK(left != nullptr && right != nullptr);
+  CHECK_EQ(left_keys.size(), right_keys.size());
+  for (const std::string& k : left_keys) left->output_schema.IndexOfOrDie(k);
+  for (const std::string& k : right_keys) right->output_schema.IndexOfOrDie(k);
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kJoin;
+  n->join_type = type;
+  if (type == JoinType::kInner) {
+    n->output_schema =
+        Schema::Concat(left->output_schema, right->output_schema);
+  } else {
+    n->output_schema = left->output_schema;
+  }
+  n->children = {std::move(left), std::move(right)};
+  n->left_keys = std::move(left_keys);
+  n->right_keys = std::move(right_keys);
+  n->queries = queries;
+  return n;
+}
+
+PlanNodePtr PlanNode::MakeAggregate(PlanNodePtr child,
+                                    std::vector<std::string> group_by,
+                                    std::vector<AggSpec> aggregates,
+                                    QuerySet queries) {
+  CHECK(child != nullptr);
+  CHECK(!aggregates.empty() || !group_by.empty());
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kAggregate;
+  std::vector<Field> fields;
+  for (const std::string& g : group_by) {
+    int idx = child->output_schema.IndexOfOrDie(g);
+    fields.push_back(child->output_schema.field(idx));
+  }
+  for (const AggSpec& a : aggregates) {
+    fields.push_back(Field{a.alias, AggOutputType(a, child->output_schema)});
+  }
+  n->output_schema = Schema(std::move(fields));
+  n->children = {std::move(child)};
+  n->group_by = std::move(group_by);
+  n->aggregates = std::move(aggregates);
+  n->queries = queries;
+  return n;
+}
+
+PlanNodePtr PlanNode::MakeSubplanInput(int subplan_index, Schema schema,
+                                       QuerySet queries) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = PlanKind::kSubplanInput;
+  n->input_subplan = subplan_index;
+  n->output_schema = std::move(schema);
+  n->queries = queries;
+  return n;
+}
+
+void PlanNode::RecomputeSchema() {
+  switch (kind) {
+    case PlanKind::kScan:
+    case PlanKind::kSubplanInput:
+      return;  // schema fixed at construction
+    case PlanKind::kFilter:
+      output_schema = children[0]->output_schema;
+      return;
+    case PlanKind::kProject: {
+      std::vector<Field> fields;
+      for (const NamedExpr& ne : projections) {
+        fields.push_back(
+            Field{ne.alias, ne.expr->OutputType(children[0]->output_schema)});
+      }
+      output_schema = Schema(std::move(fields));
+      return;
+    }
+    case PlanKind::kJoin:
+      if (join_type == JoinType::kInner) {
+        output_schema = Schema::Concat(children[0]->output_schema,
+                                       children[1]->output_schema);
+      } else {
+        output_schema = children[0]->output_schema;
+      }
+      return;
+    case PlanKind::kAggregate: {
+      std::vector<Field> fields;
+      for (const std::string& g : group_by) {
+        int idx = children[0]->output_schema.IndexOfOrDie(g);
+        fields.push_back(children[0]->output_schema.field(idx));
+      }
+      for (const AggSpec& a : aggregates) {
+        fields.push_back(
+            Field{a.alias, AggOutputType(a, children[0]->output_schema)});
+      }
+      output_schema = Schema(std::move(fields));
+      return;
+    }
+  }
+}
+
+std::string PlanNode::StructSignature() const {
+  std::ostringstream os;
+  switch (kind) {
+    case PlanKind::kScan:
+      os << "scan(" << table_name << ")";
+      return os.str();
+    case PlanKind::kFilter:
+      // Predicates are deliberately excluded: differing selects are
+      // sharable (they are copied into the shared node, Sec. 2.3).
+      os << "filter[" << children[0]->StructSignature() << "]";
+      return os.str();
+    case PlanKind::kProject:
+      // Projection lists are excluded: merged projects union them.
+      os << "project[" << children[0]->StructSignature() << "]";
+      return os.str();
+    case PlanKind::kJoin: {
+      os << "join(" << JoinTypeName(join_type) << ";";
+      for (const auto& k : left_keys) os << k << ",";
+      os << ";";
+      for (const auto& k : right_keys) os << k << ",";
+      os << ")[" << children[0]->StructSignature() << "|"
+         << children[1]->StructSignature() << "]";
+      return os.str();
+    }
+    case PlanKind::kAggregate: {
+      os << "agg(";
+      for (const auto& g : group_by) os << g << ",";
+      os << ";";
+      for (const AggSpec& a : aggregates) {
+        os << AggKindName(a.kind) << ":"
+           << (a.arg ? a.arg->ToString() : "*") << " as " << a.alias << ",";
+      }
+      os << ")[" << children[0]->StructSignature() << "]";
+      return os.str();
+    }
+    case PlanKind::kSubplanInput:
+      os << "input(" << input_subplan << ")";
+      return os.str();
+  }
+  return "?";
+}
+
+std::string PlanNode::FullSignature() const {
+  std::ostringstream os;
+  os << PlanKindName(kind) << "(";
+  switch (kind) {
+    case PlanKind::kScan:
+      os << table_name;
+      break;
+    case PlanKind::kFilter:
+      for (const auto& [q, pred] : predicates) {
+        os << "q" << q << ":" << (pred ? pred->ToString() : "true") << ";";
+      }
+      break;
+    case PlanKind::kProject:
+      for (const NamedExpr& ne : projections) {
+        os << ne.expr->ToString() << " as " << ne.alias << ";";
+      }
+      break;
+    case PlanKind::kJoin:
+      os << JoinTypeName(join_type) << ";";
+      for (const auto& k : left_keys) os << k << ",";
+      os << "=";
+      for (const auto& k : right_keys) os << k << ",";
+      break;
+    case PlanKind::kAggregate:
+      for (const auto& g : group_by) os << g << ",";
+      os << ";";
+      for (const AggSpec& a : aggregates) {
+        os << AggKindName(a.kind) << ":"
+           << (a.arg ? a.arg->ToString() : "*") << ",";
+      }
+      break;
+    case PlanKind::kSubplanInput:
+      os << input_subplan;
+      break;
+  }
+  os << ")";
+  if (!children.empty()) {
+    os << "[";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) os << "|";
+      os << children[i]->FullSignature();
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+std::string PlanNode::NodeString() const {
+  std::ostringstream os;
+  os << PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      os << "(" << table_name << ")";
+      break;
+    case PlanKind::kFilter: {
+      os << "(";
+      bool first = true;
+      for (const auto& [q, pred] : predicates) {
+        if (!first) os << "; ";
+        os << "q" << q << ": " << (pred ? pred->ToString() : "true");
+        first = false;
+      }
+      os << ")";
+      break;
+    }
+    case PlanKind::kProject:
+      os << "(" << projections.size() << " exprs)";
+      break;
+    case PlanKind::kJoin: {
+      os << "(" << JoinTypeName(join_type) << " ";
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (i > 0) os << ",";
+        os << left_keys[i] << "=" << right_keys[i];
+      }
+      os << ")";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      os << "(by ";
+      for (const auto& g : group_by) os << g << ",";
+      os << " ";
+      for (const AggSpec& a : aggregates) {
+        os << AggKindName(a.kind) << "(" << (a.arg ? a.arg->ToString() : "*")
+           << ") ";
+      }
+      os << ")";
+      break;
+    }
+    case PlanKind::kSubplanInput:
+      os << "(#" << input_subplan << ")";
+      break;
+  }
+  os << " " << queries.ToString();
+  return os.str();
+}
+
+std::string PlanNode::TreeString(int indent) const {
+  std::string out(indent * 2, ' ');
+  out += NodeString();
+  out += "\n";
+  for (const PlanNodePtr& c : children) {
+    out += c->TreeString(indent + 1);
+  }
+  return out;
+}
+
+PlanNodePtr PlanNode::CloneRestricted(const PlanNodePtr& node, QuerySet keep) {
+  CHECK(node != nullptr);
+  auto n = std::make_shared<PlanNode>(*node);
+  n->queries = node->queries.Intersect(keep);
+  if (node->kind == PlanKind::kFilter) {
+    n->predicates.clear();
+    for (const auto& [q, pred] : node->predicates) {
+      if (keep.Contains(q)) n->predicates[q] = pred;
+    }
+  }
+  n->children.clear();
+  for (const PlanNodePtr& c : node->children) {
+    n->children.push_back(CloneRestricted(c, keep));
+  }
+  return n;
+}
+
+}  // namespace ishare

@@ -1,0 +1,165 @@
+#ifndef ISHARE_PLAN_PLAN_H_
+#define ISHARE_PLAN_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ishare/catalog/catalog.h"
+#include "ishare/common/query_set.h"
+#include "ishare/expr/expr.h"
+#include "ishare/types/schema.h"
+
+namespace ishare {
+
+enum class PlanKind {
+  kScan,          // base relation leaf (reads a base DeltaBuffer)
+  kFilter,        // select; in shared plans holds one predicate per query
+  kProject,       // computes named expressions
+  kJoin,          // equi hash join (inner / left-semi / left-anti)
+  kAggregate,     // group-by + aggregate functions
+  kSubplanInput,  // leaf standing for a child subplan's output buffer
+};
+
+enum class JoinType { kInner, kLeftSemi, kLeftAnti };
+
+enum class AggKind { kSum, kCount, kAvg, kMin, kMax, kCountDistinct };
+
+const char* PlanKindName(PlanKind k);
+const char* AggKindName(AggKind k);
+const char* JoinTypeName(JoinType t);
+
+// One aggregate function in an Aggregate node; `arg` may be null for
+// COUNT(*).
+struct AggSpec {
+  AggKind kind;
+  ExprPtr arg;
+  std::string alias;
+};
+
+inline AggSpec SumAgg(ExprPtr arg, std::string alias) {
+  return AggSpec{AggKind::kSum, std::move(arg), std::move(alias)};
+}
+inline AggSpec CountAgg(std::string alias) {
+  return AggSpec{AggKind::kCount, nullptr, std::move(alias)};
+}
+inline AggSpec AvgAgg(ExprPtr arg, std::string alias) {
+  return AggSpec{AggKind::kAvg, std::move(arg), std::move(alias)};
+}
+inline AggSpec MinAgg(ExprPtr arg, std::string alias) {
+  return AggSpec{AggKind::kMin, std::move(arg), std::move(alias)};
+}
+inline AggSpec MaxAgg(ExprPtr arg, std::string alias) {
+  return AggSpec{AggKind::kMax, std::move(arg), std::move(alias)};
+}
+inline AggSpec CountDistinctAgg(ExprPtr arg, std::string alias) {
+  return AggSpec{AggKind::kCountDistinct, std::move(arg), std::move(alias)};
+}
+
+// A named projection expression ("expr AS alias").
+struct NamedExpr {
+  ExprPtr expr;
+  std::string alias;
+};
+
+class PlanNode;
+using PlanNodePtr = std::shared_ptr<PlanNode>;
+
+// A logical plan node. Single-query plans are trees; the MQO optimizer
+// merges them into a DAG where a node may have several parents and is
+// annotated with the set of queries that use it (Sec. 2.3).
+//
+// This is deliberately a single concrete class rather than a hierarchy:
+// the iShare optimizer rewrites plans heavily (merging, splitting,
+// re-parenting), which is much simpler against a uniform node type.
+class PlanNode {
+ public:
+  PlanKind kind = PlanKind::kScan;
+  std::vector<PlanNodePtr> children;
+
+  // Which queries use this node. Maintained by the MQO optimizer and the
+  // decomposition rewrites; a single-query plan has a singleton set.
+  QuerySet queries;
+
+  Schema output_schema;
+
+  // -- kScan --
+  std::string table_name;
+
+  // -- kFilter -- per-query predicates. A tuple keeps its bit for query q
+  // iff predicates[q] (when present) passes; queries without an entry are
+  // pass-through. This implements the paper's marking select σ*.
+  std::map<QueryId, ExprPtr> predicates;
+
+  // -- kProject -- union of the projection lists of all sharing queries.
+  std::vector<NamedExpr> projections;
+
+  // -- kJoin --
+  JoinType join_type = JoinType::kInner;
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+
+  // -- kAggregate --
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;
+
+  // -- kSubplanInput -- index of the producing subplan in a SubplanGraph.
+  int input_subplan = -1;
+
+  // --- Factories (compute output schemas; CHECK-fail on bad references) ---
+  static PlanNodePtr MakeScan(const Catalog& catalog,
+                              const std::string& table, QuerySet queries);
+  static PlanNodePtr MakeFilter(PlanNodePtr child,
+                                std::map<QueryId, ExprPtr> predicates,
+                                QuerySet queries);
+  static PlanNodePtr MakeProject(PlanNodePtr child,
+                                 std::vector<NamedExpr> projections,
+                                 QuerySet queries);
+  static PlanNodePtr MakeJoin(PlanNodePtr left, PlanNodePtr right,
+                              std::vector<std::string> left_keys,
+                              std::vector<std::string> right_keys,
+                              JoinType type, QuerySet queries);
+  static PlanNodePtr MakeAggregate(PlanNodePtr child,
+                                   std::vector<std::string> group_by,
+                                   std::vector<AggSpec> aggregates,
+                                   QuerySet queries);
+  static PlanNodePtr MakeSubplanInput(int subplan_index, Schema schema,
+                                      QuerySet queries);
+
+  // The structural string signature used by the MQO optimizer to decide
+  // sharability (Sec. 2.3): includes operator kinds, scan tables, join
+  // keys/types and aggregate specs, but *excludes* filter predicates and
+  // projection lists (those are allowed to differ between sharable plans).
+  std::string StructSignature() const;
+
+  // Full signature including predicates/projections; equal full signatures
+  // mean the plans are operationally identical.
+  std::string FullSignature() const;
+
+  // Pretty multi-line tree rendering for debugging and EXPLAIN output.
+  std::string TreeString(int indent = 0) const;
+
+  // Single-line description of this node only.
+  std::string NodeString() const;
+
+  // Recomputes this node's output schema from its children's schemas.
+  void RecomputeSchema();
+
+  // Deep-copies `node`, keeping only predicate entries for `keep` queries
+  // and intersecting every node's query set with `keep`. Expression objects
+  // are shared (immutable). Used when decomposing a shared subplan.
+  static PlanNodePtr CloneRestricted(const PlanNodePtr& node, QuerySet keep);
+};
+
+// A query as submitted by a user: a name, its dedicated id within the
+// session, and the root of its (single-query) logical plan.
+struct QueryPlan {
+  QueryId id = 0;
+  std::string name;
+  PlanNodePtr root;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_PLAN_PLAN_H_

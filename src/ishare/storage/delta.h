@@ -1,0 +1,39 @@
+#ifndef ISHARE_STORAGE_DELTA_H_
+#define ISHARE_STORAGE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ishare/common/query_set.h"
+#include "ishare/types/value.h"
+
+namespace ishare {
+
+// A change record flowing through the shared incremental engine (Sec. 2.3):
+//  - row:    the tuple payload
+//  - qset:   SharedDB bitvector — which queries this tuple is valid for
+//  - weight: multiplicity delta; +n inserts n copies, -n deletes n copies.
+//            An update is a delete followed by an insert.
+struct DeltaTuple {
+  Row row;
+  QuerySet qset;
+  int32_t weight = 1;
+
+  DeltaTuple() = default;
+  DeltaTuple(Row r, QuerySet q, int32_t w)
+      : row(std::move(r)), qset(q), weight(w) {}
+
+  bool is_insert() const { return weight > 0; }
+
+  std::string ToString() const {
+    return (weight > 0 ? "+" : "") + std::to_string(weight) +
+           RowToString(row) + qset.ToString();
+  }
+};
+
+using DeltaBatch = std::vector<DeltaTuple>;
+
+}  // namespace ishare
+
+#endif  // ISHARE_STORAGE_DELTA_H_

@@ -1,0 +1,91 @@
+#ifndef ISHARE_STORAGE_DELTA_BUFFER_H_
+#define ISHARE_STORAGE_DELTA_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ishare/common/check.h"
+#include "ishare/storage/delta.h"
+#include "ishare/types/schema.h"
+
+namespace ishare {
+
+// Append-only log of delta tuples with independent consumer offsets.
+//
+// This replaces the Kafka topics of the paper's prototype: a subplan whose
+// root has two or more parent subplans materializes its output here, and
+// each parent pulls new tuples at its own pace (Sec. 2.2). Base relations
+// are buffers of the same kind fed by the StreamSource.
+class DeltaBuffer {
+ public:
+  DeltaBuffer() = default;
+  explicit DeltaBuffer(Schema schema, std::string name = "")
+      : schema_(std::move(schema)), name_(std::move(name)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Total tuples ever appended.
+  int64_t size() const { return static_cast<int64_t>(log_.size()); }
+
+  void Append(DeltaTuple t) { log_.push_back(std::move(t)); }
+  void AppendBatch(const DeltaBatch& batch) {
+    log_.insert(log_.end(), batch.begin(), batch.end());
+  }
+
+  // Registers a new consumer starting at offset 0; returns its id.
+  int RegisterConsumer() {
+    offsets_.push_back(0);
+    return static_cast<int>(offsets_.size()) - 1;
+  }
+  int num_consumers() const { return static_cast<int>(offsets_.size()); }
+
+  int64_t ConsumerOffset(int consumer) const {
+    CHECK(consumer >= 0 && consumer < num_consumers());
+    return offsets_[consumer];
+  }
+
+  // Number of tuples the consumer has not read yet.
+  int64_t Pending(int consumer) const {
+    return size() - ConsumerOffset(consumer);
+  }
+
+  // Reads all tuples newer than the consumer's offset and advances it.
+  DeltaBatch ConsumeNew(int consumer) {
+    CHECK(consumer >= 0 && consumer < num_consumers());
+    int64_t from = offsets_[consumer];
+    DeltaBatch out(log_.begin() + from, log_.end());
+    offsets_[consumer] = size();
+    return out;
+  }
+
+  // Reads up to `limit` new tuples and advances the offset accordingly.
+  DeltaBatch ConsumeUpTo(int consumer, int64_t limit) {
+    CHECK(consumer >= 0 && consumer < num_consumers());
+    int64_t from = offsets_[consumer];
+    int64_t to = std::min(size(), from + limit);
+    DeltaBatch out(log_.begin() + from, log_.begin() + to);
+    offsets_[consumer] = to;
+    return out;
+  }
+
+  const std::vector<DeltaTuple>& log() const { return log_; }
+
+  // Drops all tuples and resets every consumer offset to zero.
+  void Reset() {
+    log_.clear();
+    std::fill(offsets_.begin(), offsets_.end(), 0);
+  }
+
+ private:
+  Schema schema_;
+  std::string name_;
+  std::vector<DeltaTuple> log_;
+  std::vector<int64_t> offsets_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_STORAGE_DELTA_BUFFER_H_

@@ -1,0 +1,118 @@
+#ifndef ISHARE_STORAGE_STREAM_SOURCE_H_
+#define ISHARE_STORAGE_STREAM_SOURCE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ishare/common/check.h"
+#include "ishare/storage/delta_buffer.h"
+
+namespace ishare {
+
+// Simulates the Kafka data source of the paper's prototype: the complete
+// dataset for one trigger condition (e.g. the daily load) is preloaded, and
+// rows are released into per-table base buffers as the (logical) trigger
+// window progresses. Advancing to data fraction t in [0, 1] appends
+// floor(t * total) rows of every table.
+//
+// The paper assumes a fixed arrival rate, so a data fraction maps linearly
+// to wall-clock time within the trigger window.
+class StreamSource {
+ public:
+  StreamSource() = default;
+
+  // Registers a table with its full dataset for the trigger window.
+  // Returns the base buffer that scans consume from.
+  DeltaBuffer* AddTable(const std::string& name, Schema schema,
+                        std::vector<Row> rows) {
+    std::vector<DeltaTuple> deltas;
+    deltas.reserve(rows.size());
+    for (Row& r : rows) {
+      deltas.emplace_back(std::move(r), QuerySet(), /*weight=*/1);
+    }
+    return AddTableDeltas(name, std::move(schema), std::move(deltas));
+  }
+
+  // Like AddTable, but the window may contain deletes and updates (an
+  // update is a -1 tuple followed by a +1 tuple). Weights are released in
+  // order as the window progresses; a delete must come after its insert.
+  DeltaBuffer* AddTableDeltas(const std::string& name, Schema schema,
+                              std::vector<DeltaTuple> deltas) {
+    CHECK(tables_.find(name) == tables_.end())
+        << "duplicate table " << name;
+    auto t = std::make_unique<TableStream>();
+    t->buffer = std::make_unique<DeltaBuffer>(std::move(schema), name);
+    t->rows = std::move(deltas);
+    DeltaBuffer* buf = t->buffer.get();
+    tables_[name] = std::move(t);
+    return buf;
+  }
+
+  DeltaBuffer* buffer(const std::string& name) const {
+    auto it = tables_.find(name);
+    CHECK(it != tables_.end()) << "unknown table " << name;
+    return it->second->buffer.get();
+  }
+
+  int64_t TotalRows(const std::string& name) const {
+    auto it = tables_.find(name);
+    CHECK(it != tables_.end()) << "unknown table " << name;
+    return static_cast<int64_t>(it->second->rows.size());
+  }
+
+  // Releases rows so that each table has received fraction t of its data.
+  // Fractions must be non-decreasing across calls.
+  void AdvanceTo(double fraction) {
+    CHECK_GE(fraction, 0.0);
+    CHECK_LE(fraction, 1.0 + 1e-9);
+    fraction = std::min(fraction, 1.0);
+    CHECK_GE(fraction, current_fraction_ - 1e-12)
+        << "stream cannot move backwards";
+    current_fraction_ = fraction;
+    for (auto& [name, t] : tables_) {
+      auto target =
+          static_cast<int64_t>(fraction * static_cast<double>(t->rows.size()) +
+                               1e-9);
+      if (fraction >= 1.0) target = static_cast<int64_t>(t->rows.size());
+      for (int64_t i = t->released; i < target; ++i) {
+        t->buffer->Append(t->rows[i]);
+      }
+      t->released = std::max(t->released, target);
+    }
+  }
+
+  double current_fraction() const { return current_fraction_; }
+
+  // Rewinds the stream and clears all base buffers (consumer offsets reset).
+  // The preloaded datasets are kept, so an experiment can be re-run.
+  void Reset() {
+    current_fraction_ = 0.0;
+    for (auto& [name, t] : tables_) {
+      t->released = 0;
+      t->buffer->Reset();
+    }
+  }
+
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [name, t] : tables_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  struct TableStream {
+    std::unique_ptr<DeltaBuffer> buffer;
+    std::vector<DeltaTuple> rows;
+    int64_t released = 0;
+  };
+
+  std::map<std::string, std::unique_ptr<TableStream>> tables_;
+  double current_fraction_ = 0.0;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_STORAGE_STREAM_SOURCE_H_

@@ -1,0 +1,36 @@
+#include "ishare/types/schema.h"
+
+namespace ishare {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_fields(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::IndexOfOrDie(const std::string& name) const {
+  int idx = IndexOf(name);
+  CHECK_GE(idx, 0) << "no column named '" << name << "' in " << ToString();
+  return idx;
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Field> fields = a.fields_;
+  fields.insert(fields.end(), b.fields_.begin(), b.fields_.end());
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "[";
+  for (int i = 0; i < num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace ishare

@@ -1,0 +1,94 @@
+#include "ishare/types/value.h"
+
+#include <sstream>
+
+namespace ishare {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kFloat64:
+      return "FLOAT64";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_string() || other.is_string()) {
+    CHECK(is_string() && other.is_string())
+        << "cannot compare " << DataTypeName(type()) << " with "
+        << DataTypeName(other.type());
+    const std::string& a = AsString();
+    const std::string& b = other.AsString();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (is_int() && other.is_int()) {
+    int64_t a = AsInt();
+    int64_t b = other.AsInt();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  double a = AsDouble();
+  double b = other.AsDouble();
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(AsInt());
+    case DataType::kFloat64: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case DataType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = Mix64(row.size());
+  for (const Value& v : row) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+uint64_t HashRowColumns(const Row& row, const std::vector<int>& cols) {
+  uint64_t h = Mix64(cols.size());
+  for (int c : cols) {
+    DCHECK(c >= 0 && c < static_cast<int>(row.size()));
+    h = HashCombine(h, row[c].Hash());
+  }
+  return h;
+}
+
+Row ExtractColumns(const Row& row, const std::vector<int>& cols) {
+  Row out;
+  out.reserve(cols.size());
+  for (int c : cols) {
+    DCHECK(c >= 0 && c < static_cast<int>(row.size()));
+    out.push_back(row[c]);
+  }
+  return out;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ishare

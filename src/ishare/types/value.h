@@ -1,0 +1,126 @@
+#ifndef ISHARE_TYPES_VALUE_H_
+#define ISHARE_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ishare/common/check.h"
+#include "ishare/common/hash.h"
+
+namespace ishare {
+
+// Column data types supported by the engine. Dates are stored as Int64
+// (days since epoch); decimals as Float64. This matches the operator set
+// the paper's prototype supports (Sec. 2.3).
+enum class DataType {
+  kInt64,
+  kFloat64,
+  kString,
+};
+
+const char* DataTypeName(DataType t);
+
+// A dynamically-typed scalar value flowing through the engine.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  DataType type() const {
+    switch (v_.index()) {
+      case 0:
+        return DataType::kInt64;
+      case 1:
+        return DataType::kFloat64;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  bool is_int() const { return v_.index() == 0; }
+  bool is_double() const { return v_.index() == 1; }
+  bool is_string() const { return v_.index() == 2; }
+
+  int64_t AsInt() const {
+    CHECK(is_int()) << "value is " << DataTypeName(type());
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+    CHECK(is_double()) << "value is " << DataTypeName(type());
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    CHECK(is_string()) << "value is " << DataTypeName(type());
+    return std::get<std::string>(v_);
+  }
+
+  // Numeric comparison coerces int/double; strings compare lexically.
+  // Comparing a string against a number is a programming error.
+  int Compare(const Value& other) const;
+
+  uint64_t Hash() const {
+    switch (v_.index()) {
+      case 0:
+        return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
+      case 1: {
+        double d = std::get<double>(v_);
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return Mix64(bits);
+      }
+      default:
+        return HashString(std::get<std::string>(v_));
+    }
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.v_.index() != b.v_.index()) {
+      // Allow int/double cross-type numeric equality.
+      if (!a.is_string() && !b.is_string()) {
+        return a.AsDouble() == b.AsDouble();
+      }
+      return false;
+    }
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.Compare(b) < 0;
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+// A tuple payload: one Value per column of the producing operator's schema.
+using Row = std::vector<Value>;
+
+uint64_t HashRow(const Row& row);
+std::string RowToString(const Row& row);
+
+// Hash of a subset of columns (e.g. a join key or group-by key).
+uint64_t HashRowColumns(const Row& row, const std::vector<int>& cols);
+
+// Extracts the given columns into a new row (used for key extraction).
+Row ExtractColumns(const Row& row, const std::vector<int>& cols);
+
+struct RowHasher {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_TYPES_VALUE_H_

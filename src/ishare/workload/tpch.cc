@@ -1,0 +1,286 @@
+#include "ishare/workload/tpch.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ishare/common/rng.h"
+
+namespace ishare {
+
+namespace {
+
+constexpr const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                    "MIDDLE EAST"};
+
+// Standard TPC-H nation -> region mapping (25 nations).
+struct NationDef {
+  const char* name;
+  int region;
+};
+constexpr NationDef kNations[] = {
+    {"ALGERIA", 0},    {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},     {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},     {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},  {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},      {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},    {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},      {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},    {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+constexpr int kNumNations = 25;
+
+constexpr const char* kTypes1[] = {"STANDARD", "SMALL",   "MEDIUM",
+                                   "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypes2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                   "POLISHED", "BRUSHED"};
+constexpr const char* kTypes3[] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                   "COPPER"};
+constexpr const char* kContainers1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+constexpr const char* kContainers2[] = {"CASE", "BOX", "BAG", "JAR",
+                                        "PKG",  "PACK", "CAN", "DRUM"};
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "MACHINERY", "HOUSEHOLD"};
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kShipModes[] = {"REG AIR", "AIR",   "RAIL", "SHIP",
+                                      "TRUCK",   "MAIL", "FOB"};
+constexpr const char* kShipInstruct[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                         "NONE", "TAKE BACK RETURN"};
+constexpr const char* kColors[] = {
+    "almond", "antique", "aquamarine", "azure",  "beige",  "bisque",
+    "black",  "blanched", "blue",      "blush",  "brown",  "burlywood",
+    "chartreuse", "chocolate", "coral", "cream", "cyan",   "forest",
+    "green",  "olive"};
+constexpr const char* kWords[] = {"carefully", "quick",    "pending",
+                                  "furious",   "ironic",   "express",
+                                  "regular",   "unusual",  "final",
+                                  "bold",      "idle",     "even"};
+
+template <typename T, size_t N>
+const char* Pick(Rng* rng, const T (&arr)[N]) {
+  return arr[rng->UniformInt(0, static_cast<int64_t>(N) - 1)];
+}
+
+std::string RandomComment(Rng* rng, bool maybe_special, bool maybe_complaint) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out += " ";
+    out += Pick(rng, kWords);
+  }
+  // ~5% of comments contain the keyword patterns Q13/Q16 filter on.
+  if (maybe_special && rng->Bernoulli(0.05)) {
+    out += " special packages requests";
+  }
+  if (maybe_complaint && rng->Bernoulli(0.05)) {
+    out += " Customer unhappy Complaints";
+  }
+  return out;
+}
+
+int64_t ScaleCount(double sf, int64_t base, int64_t min_count) {
+  return std::max<int64_t>(min_count,
+                           static_cast<int64_t>(sf * static_cast<double>(base)));
+}
+
+}  // namespace
+
+int64_t TpchDate(int year, int month, int day) {
+  // Leap years are ignored; the generator and all query literals use this
+  // same encoding, so only consistency matters.
+  static constexpr int kCumDays[] = {0,   31,  59,  90,  120, 151,
+                                     181, 212, 243, 273, 304, 334};
+  CHECK(month >= 1 && month <= 12);
+  return static_cast<int64_t>(year - 1992) * 365 + kCumDays[month - 1] +
+         (day - 1);
+}
+
+TpchDb::TpchDb(TpchScale scale) {
+  Rng rng(scale.seed);
+  const double sf = scale.sf;
+  const int64_t n_supplier = ScaleCount(sf, 10'000, 10);
+  const int64_t n_part = ScaleCount(sf, 200'000, 40);
+  const int64_t n_customer = ScaleCount(sf, 150'000, 30);
+  const int64_t n_orders = ScaleCount(sf, 1'500'000, 100);
+  const int64_t max_date = TpchDate(1998, 8, 2);
+
+  auto add = [&](const char* name, Schema schema, std::vector<Row> rows) {
+    CHECK(catalog.AddTable(name, schema, ComputeTableStats(schema, rows)).ok());
+    source.AddTable(name, std::move(schema), std::move(rows));
+  };
+
+  // region
+  {
+    Schema s({{"r_regionkey", DataType::kInt64}, {"r_name", DataType::kString}});
+    std::vector<Row> rows;
+    for (int i = 0; i < 5; ++i) {
+      rows.push_back({Value(int64_t{i}), Value(std::string(kRegions[i]))});
+    }
+    add("region", std::move(s), std::move(rows));
+  }
+
+  // nation
+  {
+    Schema s({{"n_nationkey", DataType::kInt64},
+              {"n_name", DataType::kString},
+              {"n_regionkey", DataType::kInt64}});
+    std::vector<Row> rows;
+    for (int i = 0; i < kNumNations; ++i) {
+      rows.push_back({Value(int64_t{i}), Value(std::string(kNations[i].name)),
+                      Value(int64_t{kNations[i].region})});
+    }
+    add("nation", std::move(s), std::move(rows));
+  }
+
+  // supplier
+  {
+    Schema s({{"s_suppkey", DataType::kInt64},
+              {"s_name", DataType::kString},
+              {"s_nationkey", DataType::kInt64},
+              {"s_acctbal", DataType::kFloat64},
+              {"s_comment", DataType::kString}});
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < n_supplier; ++i) {
+      rows.push_back({Value(i), Value("Supplier#" + std::to_string(i)),
+                      Value(rng.UniformInt(0, kNumNations - 1)),
+                      Value(rng.UniformDouble(-999.99, 9999.99)),
+                      Value(RandomComment(&rng, false, true))});
+    }
+    add("supplier", std::move(s), std::move(rows));
+  }
+
+  // part
+  {
+    Schema s({{"p_partkey", DataType::kInt64},
+              {"p_name", DataType::kString},
+              {"p_brand", DataType::kString},
+              {"p_type", DataType::kString},
+              {"p_size", DataType::kInt64},
+              {"p_container", DataType::kString},
+              {"p_retailprice", DataType::kFloat64}});
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < n_part; ++i) {
+      std::string name = std::string(Pick(&rng, kColors)) + " " +
+                         Pick(&rng, kColors) + " " + Pick(&rng, kColors);
+      std::string brand = "Brand#" + std::to_string(rng.UniformInt(1, 5)) +
+                          std::to_string(rng.UniformInt(1, 5));
+      std::string type = std::string(Pick(&rng, kTypes1)) + " " +
+                         Pick(&rng, kTypes2) + " " + Pick(&rng, kTypes3);
+      std::string container =
+          std::string(Pick(&rng, kContainers1)) + " " + Pick(&rng, kContainers2);
+      rows.push_back({Value(i), Value(std::move(name)), Value(std::move(brand)),
+                      Value(std::move(type)), Value(rng.UniformInt(1, 50)),
+                      Value(std::move(container)),
+                      Value(rng.UniformDouble(900.0, 2000.0))});
+    }
+    add("part", std::move(s), std::move(rows));
+  }
+
+  // partsupp: 4 suppliers per part.
+  {
+    Schema s({{"ps_partkey", DataType::kInt64},
+              {"ps_suppkey", DataType::kInt64},
+              {"ps_availqty", DataType::kInt64},
+              {"ps_supplycost", DataType::kFloat64}});
+    std::vector<Row> rows;
+    for (int64_t p = 0; p < n_part; ++p) {
+      for (int k = 0; k < 4; ++k) {
+        int64_t supp = (p + k * (n_supplier / 4 + 1)) % n_supplier;
+        rows.push_back({Value(p), Value(supp), Value(rng.UniformInt(1, 9999)),
+                        Value(rng.UniformDouble(1.0, 1000.0))});
+      }
+    }
+    add("partsupp", std::move(s), std::move(rows));
+  }
+
+  // customer
+  {
+    Schema s({{"c_custkey", DataType::kInt64},
+              {"c_name", DataType::kString},
+              {"c_nationkey", DataType::kInt64},
+              {"c_acctbal", DataType::kFloat64},
+              {"c_mktsegment", DataType::kString},
+              {"c_phonecc", DataType::kString}});
+    std::vector<Row> rows;
+    for (int64_t i = 0; i < n_customer; ++i) {
+      int64_t nation = rng.UniformInt(0, kNumNations - 1);
+      rows.push_back({Value(i), Value("Customer#" + std::to_string(i)),
+                      Value(nation), Value(rng.UniformDouble(-999.99, 9999.99)),
+                      Value(std::string(Pick(&rng, kSegments))),
+                      Value(std::to_string(10 + nation))});
+    }
+    add("customer", std::move(s), std::move(rows));
+  }
+
+  // orders + lineitem (FK-consistent; ~4 lineitems per order).
+  {
+    Schema so({{"o_orderkey", DataType::kInt64},
+               {"o_custkey", DataType::kInt64},
+               {"o_orderstatus", DataType::kString},
+               {"o_totalprice", DataType::kFloat64},
+               {"o_orderdate", DataType::kInt64},
+               {"o_orderpriority", DataType::kString},
+               {"o_shippriority", DataType::kInt64},
+               {"o_comment", DataType::kString}});
+    Schema sl({{"l_orderkey", DataType::kInt64},
+               {"l_partkey", DataType::kInt64},
+               {"l_suppkey", DataType::kInt64},
+               {"l_quantity", DataType::kFloat64},
+               {"l_extendedprice", DataType::kFloat64},
+               {"l_discount", DataType::kFloat64},
+               {"l_tax", DataType::kFloat64},
+               {"l_returnflag", DataType::kString},
+               {"l_linestatus", DataType::kString},
+               {"l_shipdate", DataType::kInt64},
+               {"l_commitdate", DataType::kInt64},
+               {"l_receiptdate", DataType::kInt64},
+               {"l_shipmode", DataType::kString},
+               {"l_shipinstruct", DataType::kString}});
+    std::vector<Row> orders;
+    std::vector<Row> lineitems;
+    for (int64_t o = 0; o < n_orders; ++o) {
+      int64_t orderdate = rng.UniformInt(0, max_date - 150);
+      const char* status = rng.Bernoulli(0.5) ? "F" : "O";
+      // As in TPC-H, a third of the customers never place orders (required
+      // for Q22's anti join to have matches).
+      int64_t cust = rng.UniformInt(0, n_customer - 1);
+      if (cust % 3 == 0) cust = (cust + 1) % n_customer;
+      orders.push_back({Value(o), Value(cust),
+                        Value(std::string(status)),
+                        Value(rng.UniformDouble(1000.0, 400000.0)),
+                        Value(orderdate),
+                        Value(std::string(Pick(&rng, kPriorities))),
+                        Value(rng.UniformInt(0, 1)),
+                        Value(RandomComment(&rng, true, false))});
+      int64_t nl = rng.UniformInt(1, 7);
+      for (int64_t l = 0; l < nl; ++l) {
+        int64_t shipdate = orderdate + rng.UniformInt(1, 121);
+        int64_t commitdate = orderdate + rng.UniformInt(30, 90);
+        int64_t receiptdate = shipdate + rng.UniformInt(1, 30);
+        double qty = static_cast<double>(rng.UniformInt(1, 50));
+        // The supplier must be one of the part's four partsupp suppliers
+        // (FK integrity; Q9/Q20 join lineitem with partsupp on both keys).
+        int64_t partkey = rng.UniformInt(0, n_part - 1);
+        int64_t suppkey =
+            (partkey + rng.UniformInt(0, 3) * (n_supplier / 4 + 1)) %
+            n_supplier;
+        lineitems.push_back(
+            {Value(o), Value(partkey), Value(suppkey), Value(qty),
+             Value(qty * rng.UniformDouble(900.0, 2100.0)),
+             Value(0.01 * static_cast<double>(rng.UniformInt(0, 10))),
+             Value(0.01 * static_cast<double>(rng.UniformInt(0, 8))),
+             Value(std::string(rng.Bernoulli(0.25) ? "R"
+                                                   : (rng.Bernoulli(0.5) ? "A"
+                                                                         : "N"))),
+             Value(std::string(rng.Bernoulli(0.5) ? "O" : "F")),
+             Value(shipdate), Value(commitdate), Value(receiptdate),
+             Value(std::string(Pick(&rng, kShipModes))),
+             Value(std::string(Pick(&rng, kShipInstruct)))});
+      }
+    }
+    add("orders", std::move(so), std::move(orders));
+    add("lineitem", std::move(sl), std::move(lineitems));
+  }
+}
+
+}  // namespace ishare

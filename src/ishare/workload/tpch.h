@@ -1,0 +1,42 @@
+#ifndef ISHARE_WORKLOAD_TPCH_H_
+#define ISHARE_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+
+#include "ishare/catalog/catalog.h"
+#include "ishare/storage/stream_source.h"
+
+namespace ishare {
+
+// Days since 1992-01-01 (the start of the TPC-H order-date domain). All
+// date columns and date literals use this encoding.
+int64_t TpchDate(int year, int month, int day);
+
+struct TpchScale {
+  // Fraction of the standard TPC-H sizes (SF 0.01 => 60k lineitem rows).
+  double sf = 0.01;
+  uint64_t seed = 7;
+};
+
+// Synthetic TPC-H dataset preloaded into a StreamSource, with calibrated
+// statistics in the catalog. Substitutes for the paper's Kafka-fed SF-5
+// dataset (see DESIGN.md): uniform value distributions over the standard
+// TPC-H domains, with the correlations the queries rely on (FK integrity,
+// commit/receipt/ship date ordering, comment keywords).
+class TpchDb {
+ public:
+  explicit TpchDb(TpchScale scale = TpchScale());
+
+  TpchDb(const TpchDb&) = delete;
+  TpchDb& operator=(const TpchDb&) = delete;
+
+  Catalog catalog;
+  StreamSource source;
+
+  // Rewinds the stream so another experiment can run over the same data.
+  void Reset() { source.Reset(); }
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_WORKLOAD_TPCH_H_

@@ -1,0 +1,718 @@
+#include "ishare/workload/tpch_queries.h"
+
+namespace ishare {
+
+namespace {
+
+// Shorthand for the revenue expression used throughout TPC-H.
+ExprPtr Revenue() {
+  return Mul(Col("l_extendedprice"), Sub(Lit(1.0), Col("l_discount")));
+}
+
+ExprPtr YearOf(const char* date_col) {
+  return Add(IntDiv(Col(date_col), Lit(365)), Lit(1992));
+}
+
+ExprPtr DateLit(int y, int m, int d) {
+  return Expr::Literal(Value(TpchDate(y, m, d)));
+}
+
+// Each query builder takes the variant flag and chooses constants with
+// V(base, alt): equality values swap, ranges shift by about half a window.
+struct Ctx {
+  PlanBuilder b;
+  bool variant;
+
+  template <typename T>
+  T V(T base, T alt) const {
+    return variant ? alt : base;
+  }
+};
+
+QueryPlan Q1(const Ctx& c, QueryId id) {
+  int64_t cutoff = c.V(TpchDate(1998, 12, 1) - 90, TpchDate(1998, 12, 1) - 180);
+  PlanNodePtr l = c.b.ScanFiltered(
+      "lineitem", Le(Col("l_shipdate"), Expr::Literal(Value(cutoff))));
+  PlanNodePtr root = c.b.Aggregate(
+      l, {"l_returnflag", "l_linestatus"},
+      {SumAgg(Col("l_quantity"), "sum_qty"),
+       SumAgg(Col("l_extendedprice"), "sum_base_price"),
+       SumAgg(Revenue(), "sum_disc_price"),
+       SumAgg(Mul(Revenue(), Add(Lit(1.0), Col("l_tax"))), "sum_charge"),
+       AvgAgg(Col("l_quantity"), "avg_qty"),
+       AvgAgg(Col("l_extendedprice"), "avg_price"),
+       AvgAgg(Col("l_discount"), "avg_disc"), CountAgg("count_order")});
+  return {id, "Q1", root};
+}
+
+QueryPlan Q2(const Ctx& c, QueryId id) {
+  // partsupp ⋈ supplier ⋈ nation ⋈ region(EUROPE), shared between the
+  // per-part MIN(ps_supplycost) subquery and the main block.
+  PlanNodePtr ps = c.b.ScanFiltered("partsupp", nullptr);
+  PlanNodePtr s = c.b.ScanFiltered("supplier", nullptr);
+  PlanNodePtr n = c.b.ScanFiltered("nation", nullptr);
+  PlanNodePtr r = c.b.ScanFiltered(
+      "region", Eq(Col("r_name"), Lit(c.V("EUROPE", "ASIA"))));
+  PlanNodePtr pssnr = c.b.Join(
+      c.b.Join(c.b.Join(ps, s, {"ps_suppkey"}, {"s_suppkey"}), n,
+               {"s_nationkey"}, {"n_nationkey"}),
+      r, {"n_regionkey"}, {"r_regionkey"});
+
+  PlanNodePtr min_sub = c.b.Project(
+      c.b.Aggregate(pssnr, {"ps_partkey"},
+                    {MinAgg(Col("ps_supplycost"), "min_supplycost")}),
+      {{Col("ps_partkey"), "m_partkey"},
+       {Col("min_supplycost"), "min_supplycost"}});
+
+  PlanNodePtr p = c.b.ScanFiltered(
+      "part",
+      And(Eq(Col("p_size"), Lit(c.V(15, 25))),
+          Expr::Like(Col("p_type"), c.V("%BRASS", "%STEEL"))));
+  PlanNodePtr main =
+      c.b.Join(p, pssnr, {"p_partkey"}, {"ps_partkey"});
+  PlanNodePtr with_min =
+      c.b.Join(main, min_sub, {"p_partkey"}, {"m_partkey"});
+  PlanNodePtr f = c.b.Filter(
+      with_min, Eq(Col("ps_supplycost"), Col("min_supplycost")));
+  PlanNodePtr root = c.b.Project(f, {{Col("s_acctbal"), "s_acctbal"},
+                                     {Col("s_name"), "s_name"},
+                                     {Col("n_name"), "n_name"},
+                                     {Col("p_partkey"), "p_partkey"}});
+  return {id, "Q2", root};
+}
+
+QueryPlan Q3(const Ctx& c, QueryId id) {
+  int64_t cut = c.V(TpchDate(1995, 3, 15), TpchDate(1995, 9, 15));
+  PlanNodePtr cust = c.b.ScanFiltered(
+      "customer",
+      Eq(Col("c_mktsegment"), Lit(c.V("BUILDING", "MACHINERY"))));
+  PlanNodePtr ord = c.b.ScanFiltered(
+      "orders", Lt(Col("o_orderdate"), Expr::Literal(Value(cut))));
+  PlanNodePtr line = c.b.ScanFiltered(
+      "lineitem", Gt(Col("l_shipdate"), Expr::Literal(Value(cut))));
+  PlanNodePtr lo = c.b.Join(line, ord, {"l_orderkey"}, {"o_orderkey"});
+  PlanNodePtr loc = c.b.Join(lo, cust, {"o_custkey"}, {"c_custkey"});
+  PlanNodePtr root =
+      c.b.Aggregate(loc, {"l_orderkey", "o_orderdate", "o_shippriority"},
+                    {SumAgg(Revenue(), "revenue")});
+  return {id, "Q3", root};
+}
+
+QueryPlan Q4(const Ctx& c, QueryId id) {
+  int y = c.V(1993, 1994);
+  PlanNodePtr ord = c.b.ScanFiltered(
+      "orders", And(Ge(Col("o_orderdate"), DateLit(y, 7, 1)),
+                    Lt(Col("o_orderdate"), DateLit(y, 10, 1))));
+  PlanNodePtr line = c.b.ScanFiltered(
+      "lineitem", Lt(Col("l_commitdate"), Col("l_receiptdate")));
+  PlanNodePtr semi = c.b.Join(ord, line, {"o_orderkey"}, {"l_orderkey"},
+                              JoinType::kLeftSemi);
+  PlanNodePtr root =
+      c.b.Aggregate(semi, {"o_orderpriority"}, {CountAgg("order_count")});
+  return {id, "Q4", root};
+}
+
+QueryPlan Q5(const Ctx& c, QueryId id) {
+  int y = c.V(1994, 1995);
+  PlanNodePtr sup = c.b.ScanFiltered("supplier", nullptr);
+  PlanNodePtr nat = c.b.ScanFiltered("nation", nullptr);
+  PlanNodePtr reg = c.b.ScanFiltered(
+      "region", Eq(Col("r_name"), Lit(c.V("ASIA", "EUROPE"))));
+  PlanNodePtr snr = c.b.Join(
+      c.b.Join(sup, nat, {"s_nationkey"}, {"n_nationkey"}), reg,
+      {"n_regionkey"}, {"r_regionkey"});
+  PlanNodePtr line = c.b.ScanFiltered("lineitem", nullptr);
+  PlanNodePtr ord = c.b.ScanFiltered(
+      "orders", And(Ge(Col("o_orderdate"), DateLit(y, 1, 1)),
+                    Lt(Col("o_orderdate"), DateLit(y + 1, 1, 1))));
+  PlanNodePtr cust = c.b.ScanFiltered("customer", nullptr);
+  PlanNodePtr lo = c.b.Join(line, ord, {"l_orderkey"}, {"o_orderkey"});
+  PlanNodePtr loc = c.b.Join(lo, cust, {"o_custkey"}, {"c_custkey"});
+  PlanNodePtr full = c.b.Join(loc, snr, {"l_suppkey", "c_nationkey"},
+                              {"s_suppkey", "s_nationkey"});
+  PlanNodePtr root =
+      c.b.Aggregate(full, {"n_name"}, {SumAgg(Revenue(), "revenue")});
+  return {id, "Q5", root};
+}
+
+QueryPlan Q6(const Ctx& c, QueryId id) {
+  int y = c.V(1994, 1995);
+  double dlo = c.V(0.05, 0.03), dhi = c.V(0.07, 0.05);
+  double qty = c.V(24.0, 30.0);
+  PlanNodePtr line = c.b.ScanFiltered(
+      "lineitem",
+      And(And(Ge(Col("l_shipdate"), DateLit(y, 1, 1)),
+              Lt(Col("l_shipdate"), DateLit(y + 1, 1, 1))),
+          And(Between(Col("l_discount"), Lit(dlo - 0.001), Lit(dhi + 0.001)),
+              Lt(Col("l_quantity"), Lit(qty)))));
+  PlanNodePtr root = c.b.Aggregate(
+      line, {}, {SumAgg(Mul(Col("l_extendedprice"), Col("l_discount")),
+                        "revenue")});
+  return {id, "Q6", root};
+}
+
+QueryPlan Q7(const Ctx& c, QueryId id) {
+  const char* n1 = c.V("FRANCE", "UNITED KINGDOM");
+  const char* n2 = c.V("GERMANY", "RUSSIA");
+  PlanNodePtr sn = c.b.Project(
+      c.b.Join(c.b.ScanFiltered("supplier", nullptr),
+               c.b.ScanFiltered("nation", nullptr), {"s_nationkey"},
+               {"n_nationkey"}),
+      {{Col("s_suppkey"), "sn_suppkey"}, {Col("n_name"), "supp_nation"}});
+  PlanNodePtr cn = c.b.Project(
+      c.b.Join(c.b.ScanFiltered("customer", nullptr),
+               c.b.ScanFiltered("nation", nullptr), {"c_nationkey"},
+               {"n_nationkey"}),
+      {{Col("c_custkey"), "cn_custkey"}, {Col("n_name"), "cust_nation"}});
+  PlanNodePtr line = c.b.ScanFiltered(
+      "lineitem", And(Ge(Col("l_shipdate"), DateLit(1995, 1, 1)),
+                      Le(Col("l_shipdate"), DateLit(1996, 12, 31))));
+  PlanNodePtr lo = c.b.Join(line, c.b.ScanFiltered("orders", nullptr),
+                            {"l_orderkey"}, {"o_orderkey"});
+  PlanNodePtr locn = c.b.Join(lo, cn, {"o_custkey"}, {"cn_custkey"});
+  PlanNodePtr full = c.b.Join(locn, sn, {"l_suppkey"}, {"sn_suppkey"});
+  PlanNodePtr f = c.b.Filter(
+      full, Or(And(Eq(Col("supp_nation"), Lit(n1)),
+                   Eq(Col("cust_nation"), Lit(n2))),
+               And(Eq(Col("supp_nation"), Lit(n2)),
+                   Eq(Col("cust_nation"), Lit(n1)))));
+  PlanNodePtr proj = c.b.Project(f, {{Col("supp_nation"), "supp_nation"},
+                                     {Col("cust_nation"), "cust_nation"},
+                                     {YearOf("l_shipdate"), "l_year"},
+                                     {Revenue(), "volume"}});
+  PlanNodePtr root =
+      c.b.Aggregate(proj, {"supp_nation", "cust_nation", "l_year"},
+                    {SumAgg(Col("volume"), "revenue")});
+  return {id, "Q7", root};
+}
+
+QueryPlan Q8(const Ctx& c, QueryId id) {
+  const char* type = c.V("ECONOMY ANODIZED STEEL", "LARGE POLISHED COPPER");
+  const char* region = c.V("AMERICA", "ASIA");
+  const char* nation = c.V("BRAZIL", "INDIA");
+  PlanNodePtr part =
+      c.b.ScanFiltered("part", Eq(Col("p_type"), Lit(type)));
+  PlanNodePtr nr = c.b.Join(
+      c.b.ScanFiltered("nation", nullptr),
+      c.b.ScanFiltered("region", Eq(Col("r_name"), Lit(region))),
+      {"n_regionkey"}, {"r_regionkey"});
+  PlanNodePtr cnr =
+      c.b.Join(c.b.ScanFiltered("customer", nullptr), nr, {"c_nationkey"},
+               {"n_nationkey"});
+  PlanNodePtr sn = c.b.Project(
+      c.b.Join(c.b.ScanFiltered("supplier", nullptr),
+               c.b.ScanFiltered("nation", nullptr), {"s_nationkey"},
+               {"n_nationkey"}),
+      {{Col("s_suppkey"), "sn_suppkey"}, {Col("n_name"), "supp_nation"}});
+  PlanNodePtr ord = c.b.ScanFiltered(
+      "orders", And(Ge(Col("o_orderdate"), DateLit(1995, 1, 1)),
+                    Le(Col("o_orderdate"), DateLit(1996, 12, 31))));
+  PlanNodePtr lo = c.b.Join(c.b.ScanFiltered("lineitem", nullptr), ord,
+                            {"l_orderkey"}, {"o_orderkey"});
+  PlanNodePtr lop = c.b.Join(lo, part, {"l_partkey"}, {"p_partkey"});
+  PlanNodePtr lopc = c.b.Join(lop, cnr, {"o_custkey"}, {"c_custkey"});
+  PlanNodePtr full = c.b.Join(lopc, sn, {"l_suppkey"}, {"sn_suppkey"});
+  PlanNodePtr proj = c.b.Project(
+      full,
+      {{YearOf("o_orderdate"), "o_year"},
+       {Revenue(), "volume"},
+       {Mul(Eq(Col("supp_nation"), Lit(nation)), Revenue()), "nation_volume"}});
+  PlanNodePtr agg = c.b.Aggregate(
+      proj, {"o_year"},
+      {SumAgg(Col("volume"), "total_volume"),
+       SumAgg(Col("nation_volume"), "sum_nation_volume")});
+  PlanNodePtr root = c.b.Project(
+      agg, {{Col("o_year"), "o_year"},
+            {Div(Col("sum_nation_volume"), Col("total_volume")), "mkt_share"}});
+  return {id, "Q8", root};
+}
+
+QueryPlan Q9(const Ctx& c, QueryId id) {
+  PlanNodePtr part = c.b.ScanFiltered(
+      "part", Expr::Like(Col("p_name"), c.V("%green%", "%blue%")));
+  PlanNodePtr lp = c.b.Join(c.b.ScanFiltered("lineitem", nullptr), part,
+                            {"l_partkey"}, {"p_partkey"});
+  PlanNodePtr lps = c.b.Join(lp, c.b.ScanFiltered("supplier", nullptr),
+                             {"l_suppkey"}, {"s_suppkey"});
+  PlanNodePtr lpsps =
+      c.b.Join(lps, c.b.ScanFiltered("partsupp", nullptr),
+               {"l_partkey", "l_suppkey"}, {"ps_partkey", "ps_suppkey"});
+  PlanNodePtr lpso = c.b.Join(lpsps, c.b.ScanFiltered("orders", nullptr),
+                              {"l_orderkey"}, {"o_orderkey"});
+  PlanNodePtr full = c.b.Join(lpso, c.b.ScanFiltered("nation", nullptr),
+                              {"s_nationkey"}, {"n_nationkey"});
+  PlanNodePtr proj = c.b.Project(
+      full, {{Col("n_name"), "nation"},
+             {YearOf("o_orderdate"), "o_year"},
+             {Sub(Revenue(), Mul(Col("ps_supplycost"), Col("l_quantity"))),
+              "amount"}});
+  PlanNodePtr root = c.b.Aggregate(proj, {"nation", "o_year"},
+                                   {SumAgg(Col("amount"), "sum_profit")});
+  return {id, "Q9", root};
+}
+
+QueryPlan Q10(const Ctx& c, QueryId id) {
+  int64_t start = c.V(TpchDate(1993, 10, 1), TpchDate(1994, 4, 1));
+  PlanNodePtr ord = c.b.ScanFiltered(
+      "orders", And(Ge(Col("o_orderdate"), Expr::Literal(Value(start))),
+                    Lt(Col("o_orderdate"),
+                       Expr::Literal(Value(start + 92)))));
+  PlanNodePtr line =
+      c.b.ScanFiltered("lineitem", Eq(Col("l_returnflag"), Lit("R")));
+  PlanNodePtr lo = c.b.Join(line, ord, {"l_orderkey"}, {"o_orderkey"});
+  PlanNodePtr loc = c.b.Join(lo, c.b.ScanFiltered("customer", nullptr),
+                             {"o_custkey"}, {"c_custkey"});
+  PlanNodePtr full = c.b.Join(loc, c.b.ScanFiltered("nation", nullptr),
+                              {"c_nationkey"}, {"n_nationkey"});
+  PlanNodePtr root =
+      c.b.Aggregate(full, {"c_custkey", "c_name", "n_name"},
+                    {SumAgg(Revenue(), "revenue")});
+  return {id, "Q10", root};
+}
+
+QueryPlan Q11(const Ctx& c, QueryId id) {
+  const char* nation = c.V("GERMANY", "FRANCE");
+  double frac = c.V(0.0001, 0.0002);
+  PlanNodePtr psn = c.b.Join(
+      c.b.Join(c.b.ScanFiltered("partsupp", nullptr),
+               c.b.ScanFiltered("supplier", nullptr), {"ps_suppkey"},
+               {"s_suppkey"}),
+      c.b.ScanFiltered("nation", Eq(Col("n_name"), Lit(nation))),
+      {"s_nationkey"}, {"n_nationkey"});
+  PlanNodePtr proj = c.b.Project(
+      psn,
+      {{Col("ps_partkey"), "ps_partkey"},
+       {Mul(Col("ps_supplycost"), Col("ps_availqty")), "val"}});
+  PlanNodePtr by_part = c.b.Aggregate(proj, {"ps_partkey"},
+                                      {SumAgg(Col("val"), "value")});
+  PlanNodePtr total = c.b.Project(
+      c.b.Aggregate(proj, {}, {SumAgg(Col("val"), "total_val")}),
+      {{Mul(Col("total_val"), Lit(frac)), "threshold"}});
+  PlanNodePtr cross = c.b.Join(by_part, total, {}, {});
+  PlanNodePtr f = c.b.Filter(cross, Gt(Col("value"), Col("threshold")));
+  PlanNodePtr root = c.b.Project(
+      f, {{Col("ps_partkey"), "ps_partkey"}, {Col("value"), "value"}});
+  return {id, "Q11", root};
+}
+
+QueryPlan Q12(const Ctx& c, QueryId id) {
+  int y = c.V(1994, 1995);
+  std::vector<Value> modes =
+      c.variant ? std::vector<Value>{Value("RAIL"), Value("TRUCK")}
+                : std::vector<Value>{Value("MAIL"), Value("SHIP")};
+  PlanNodePtr line = c.b.ScanFiltered(
+      "lineitem",
+      And(And(Expr::In(Col("l_shipmode"), modes),
+              And(Lt(Col("l_commitdate"), Col("l_receiptdate")),
+                  Lt(Col("l_shipdate"), Col("l_commitdate")))),
+          And(Ge(Col("l_receiptdate"), DateLit(y, 1, 1)),
+              Lt(Col("l_receiptdate"), DateLit(y + 1, 1, 1)))));
+  PlanNodePtr lo = c.b.Join(line, c.b.ScanFiltered("orders", nullptr),
+                            {"l_orderkey"}, {"o_orderkey"});
+  PlanNodePtr proj = c.b.Project(
+      lo, {{Col("l_shipmode"), "l_shipmode"},
+           {Expr::In(Col("o_orderpriority"),
+                     {Value("1-URGENT"), Value("2-HIGH")}),
+            "is_high"}});
+  PlanNodePtr proj2 = c.b.Project(
+      proj, {{Col("l_shipmode"), "l_shipmode"},
+             {Col("is_high"), "high_line"},
+             {Sub(Lit(1), Col("is_high")), "low_line"}});
+  PlanNodePtr root = c.b.Aggregate(
+      proj2, {"l_shipmode"},
+      {SumAgg(Col("high_line"), "high_line_count"),
+       SumAgg(Col("low_line"), "low_line_count")});
+  return {id, "Q12", root};
+}
+
+QueryPlan Q13(const Ctx& c, QueryId id) {
+  PlanNodePtr ord = c.b.ScanFiltered(
+      "orders", Not(Expr::Like(Col("o_comment"),
+                               c.V("%special%requests%", "%bold%requests%"))));
+  PlanNodePtr per_cust =
+      c.b.Aggregate(ord, {"o_custkey"}, {CountAgg("c_count")});
+  PlanNodePtr root =
+      c.b.Aggregate(per_cust, {"c_count"}, {CountAgg("custdist")});
+  return {id, "Q13", root};
+}
+
+QueryPlan Q14(const Ctx& c, QueryId id) {
+  int64_t start = c.V(TpchDate(1995, 9, 1), TpchDate(1996, 3, 1));
+  PlanNodePtr line = c.b.ScanFiltered(
+      "lineitem", And(Ge(Col("l_shipdate"), Expr::Literal(Value(start))),
+                      Lt(Col("l_shipdate"),
+                         Expr::Literal(Value(start + 30)))));
+  PlanNodePtr lp = c.b.Join(line, c.b.ScanFiltered("part", nullptr),
+                            {"l_partkey"}, {"p_partkey"});
+  PlanNodePtr proj = c.b.Project(
+      lp, {{Mul(Expr::Like(Col("p_type"), "PROMO%"), Revenue()),
+            "promo_revenue"},
+           {Revenue(), "total_revenue"}});
+  PlanNodePtr agg = c.b.Aggregate(
+      proj, {},
+      {SumAgg(Col("promo_revenue"), "promo"),
+       SumAgg(Col("total_revenue"), "total")});
+  PlanNodePtr root = c.b.Project(
+      agg, {{Mul(Lit(100.0), Div(Col("promo"), Col("total"))),
+             "promo_revenue_pct"}});
+  return {id, "Q14", root};
+}
+
+QueryPlan Q15(const Ctx& c, QueryId id) {
+  int64_t start = c.V(TpchDate(1996, 1, 1), TpchDate(1996, 7, 1));
+  PlanNodePtr line = c.b.ScanFiltered(
+      "lineitem", And(Ge(Col("l_shipdate"), Expr::Literal(Value(start))),
+                      Lt(Col("l_shipdate"),
+                         Expr::Literal(Value(start + 90)))));
+  PlanNodePtr revenue = c.b.Aggregate(line, {"l_suppkey"},
+                                      {SumAgg(Revenue(), "total_revenue")});
+  PlanNodePtr max_rev = c.b.Aggregate(
+      revenue, {}, {MaxAgg(Col("total_revenue"), "max_revenue")});
+  PlanNodePtr sj = c.b.Join(c.b.ScanFiltered("supplier", nullptr), revenue,
+                            {"s_suppkey"}, {"l_suppkey"});
+  PlanNodePtr cross = c.b.Join(sj, max_rev, {}, {});
+  PlanNodePtr f = c.b.Filter(
+      cross, Eq(Col("total_revenue"), Col("max_revenue")));
+  PlanNodePtr root = c.b.Project(f, {{Col("s_suppkey"), "s_suppkey"},
+                                     {Col("s_name"), "s_name"},
+                                     {Col("total_revenue"), "total_revenue"}});
+  return {id, "Q15", root};
+}
+
+QueryPlan Q16(const Ctx& c, QueryId id) {
+  std::vector<Value> sizes =
+      c.variant
+          ? std::vector<Value>{Value(int64_t{4}), Value(int64_t{11}),
+                               Value(int64_t{20}), Value(int64_t{28}),
+                               Value(int64_t{33}), Value(int64_t{40}),
+                               Value(int64_t{46}), Value(int64_t{50})}
+          : std::vector<Value>{Value(int64_t{49}), Value(int64_t{14}),
+                               Value(int64_t{23}), Value(int64_t{45}),
+                               Value(int64_t{19}), Value(int64_t{3}),
+                               Value(int64_t{36}), Value(int64_t{9})};
+  PlanNodePtr part = c.b.ScanFiltered(
+      "part",
+      And(And(Ne(Col("p_brand"), Lit(c.V("Brand#45", "Brand#21"))),
+              Not(Expr::Like(Col("p_type"),
+                             c.V("MEDIUM POLISHED%", "SMALL BRUSHED%")))),
+          Expr::In(Col("p_size"), sizes)));
+  PlanNodePtr psp = c.b.Join(c.b.ScanFiltered("partsupp", nullptr), part,
+                             {"ps_partkey"}, {"p_partkey"});
+  PlanNodePtr bad_supp = c.b.ScanFiltered(
+      "supplier", Expr::Like(Col("s_comment"), "%Customer%Complaints%"));
+  PlanNodePtr anti = c.b.Join(psp, bad_supp, {"ps_suppkey"}, {"s_suppkey"},
+                              JoinType::kLeftAnti);
+  PlanNodePtr root = c.b.Aggregate(
+      anti, {"p_brand", "p_type", "p_size"},
+      {CountDistinctAgg(Col("ps_suppkey"), "supplier_cnt")});
+  return {id, "Q16", root};
+}
+
+QueryPlan Q17(const Ctx& c, QueryId id) {
+  PlanNodePtr line = c.b.ScanFiltered("lineitem", nullptr);
+  PlanNodePtr part = c.b.ScanFiltered(
+      "part", And(Eq(Col("p_brand"), Lit(c.V("Brand#23", "Brand#45"))),
+                  Eq(Col("p_container"), Lit(c.V("MED BOX", "LG CAN")))));
+  PlanNodePtr lp = c.b.Join(line, part, {"l_partkey"}, {"p_partkey"});
+  PlanNodePtr avg_qty = c.b.Project(
+      c.b.Aggregate(line, {"l_partkey"}, {AvgAgg(Col("l_quantity"), "a_qty")}),
+      {{Col("l_partkey"), "a_partkey"},
+       {Mul(Lit(0.2), Col("a_qty")), "qty_limit"}});
+  PlanNodePtr j = c.b.Join(lp, avg_qty, {"l_partkey"}, {"a_partkey"});
+  PlanNodePtr f = c.b.Filter(j, Lt(Col("l_quantity"), Col("qty_limit")));
+  PlanNodePtr agg = c.b.Aggregate(
+      f, {}, {SumAgg(Col("l_extendedprice"), "total_price")});
+  PlanNodePtr root = c.b.Project(
+      agg, {{Div(Col("total_price"), Lit(7.0)), "avg_yearly"}});
+  return {id, "Q17", root};
+}
+
+QueryPlan Q18(const Ctx& c, QueryId id) {
+  double threshold = c.V(300.0, 200.0);
+  PlanNodePtr line = c.b.ScanFiltered("lineitem", nullptr);
+  PlanNodePtr per_order = c.b.Aggregate(
+      line, {"l_orderkey"}, {SumAgg(Col("l_quantity"), "order_qty")});
+  PlanNodePtr big = c.b.Project(
+      c.b.Filter(per_order, Gt(Col("order_qty"), Lit(threshold))),
+      {{Col("l_orderkey"), "big_orderkey"}});
+  PlanNodePtr lo = c.b.Join(line, c.b.ScanFiltered("orders", nullptr),
+                            {"l_orderkey"}, {"o_orderkey"});
+  PlanNodePtr loc = c.b.Join(lo, c.b.ScanFiltered("customer", nullptr),
+                             {"o_custkey"}, {"c_custkey"});
+  PlanNodePtr j = c.b.Join(loc, big, {"o_orderkey"}, {"big_orderkey"},
+                           JoinType::kLeftSemi);
+  PlanNodePtr root = c.b.Aggregate(
+      j, {"c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice"},
+      {SumAgg(Col("l_quantity"), "sum_qty")});
+  return {id, "Q18", root};
+}
+
+QueryPlan Q19(const Ctx& c, QueryId id) {
+  const char* b1 = c.V("Brand#12", "Brand#21");
+  const char* b2 = c.V("Brand#23", "Brand#32");
+  const char* b3 = c.V("Brand#34", "Brand#43");
+  PlanNodePtr line = c.b.ScanFiltered(
+      "lineitem",
+      And(Expr::In(Col("l_shipmode"), {Value("AIR"), Value("REG AIR")}),
+          Eq(Col("l_shipinstruct"), Lit("DELIVER IN PERSON"))));
+  PlanNodePtr lp = c.b.Join(line, c.b.ScanFiltered("part", nullptr),
+                            {"l_partkey"}, {"p_partkey"});
+  auto bracket = [&](const char* brand, std::vector<Value> containers,
+                     double qlo, double qhi, int shi) {
+    return And(
+        And(Eq(Col("p_brand"), Lit(brand)),
+            Expr::In(Col("p_container"), std::move(containers))),
+        And(Between(Col("l_quantity"), Lit(qlo), Lit(qhi)),
+            Between(Col("p_size"), Lit(1), Lit(shi))));
+  };
+  PlanNodePtr f = c.b.Filter(
+      lp,
+      Or(Or(bracket(b1,
+                    {Value("SM CASE"), Value("SM BOX"), Value("SM PACK"),
+                     Value("SM PKG")},
+                    1, 11, 5),
+            bracket(b2,
+                    {Value("MED BAG"), Value("MED BOX"), Value("MED PKG"),
+                     Value("MED PACK")},
+                    10, 20, 10)),
+         bracket(b3,
+                 {Value("LG CASE"), Value("LG BOX"), Value("LG PACK"),
+                  Value("LG PKG")},
+                 20, 30, 15)));
+  PlanNodePtr root = c.b.Aggregate(f, {}, {SumAgg(Revenue(), "revenue")});
+  return {id, "Q19", root};
+}
+
+QueryPlan Q20(const Ctx& c, QueryId id) {
+  int y = c.V(1994, 1995);
+  PlanNodePtr line = c.b.ScanFiltered(
+      "lineitem", And(Ge(Col("l_shipdate"), DateLit(y, 1, 1)),
+                      Lt(Col("l_shipdate"), DateLit(y + 1, 1, 1))));
+  PlanNodePtr agg = c.b.Project(
+      c.b.Aggregate(line, {"l_partkey", "l_suppkey"},
+                    {SumAgg(Col("l_quantity"), "sum_qty")}),
+      {{Col("l_partkey"), "a_partkey"},
+       {Col("l_suppkey"), "a_suppkey"},
+       {Mul(Lit(0.5), Col("sum_qty")), "qty_limit"}});
+  PlanNodePtr part = c.b.ScanFiltered(
+      "part", Expr::Like(Col("p_name"), c.V("forest%", "green%")));
+  PlanNodePtr ps_sel =
+      c.b.Join(c.b.ScanFiltered("partsupp", nullptr), part, {"ps_partkey"},
+               {"p_partkey"}, JoinType::kLeftSemi);
+  PlanNodePtr j = c.b.Join(ps_sel, agg, {"ps_partkey", "ps_suppkey"},
+                           {"a_partkey", "a_suppkey"});
+  PlanNodePtr f = c.b.Filter(j, Gt(Col("ps_availqty"), Col("qty_limit")));
+  PlanNodePtr sp = c.b.Join(c.b.ScanFiltered("supplier", nullptr), f,
+                            {"s_suppkey"}, {"ps_suppkey"},
+                            JoinType::kLeftSemi);
+  PlanNodePtr sn = c.b.Join(
+      sp, c.b.ScanFiltered("nation",
+                           Eq(Col("n_name"), Lit(c.V("CANADA", "JAPAN")))),
+      {"s_nationkey"}, {"n_nationkey"});
+  PlanNodePtr root = c.b.Project(
+      sn, {{Col("s_name"), "s_name"}, {Col("s_suppkey"), "s_suppkey"}});
+  return {id, "Q20", root};
+}
+
+QueryPlan Q21(const Ctx& c, QueryId id) {
+  const char* nation = c.V("SAUDI ARABIA", "EGYPT");
+  PlanNodePtr all_line = c.b.ScanFiltered("lineitem", nullptr);
+  PlanNodePtr late = c.b.ScanFiltered(
+      "lineitem", Gt(Col("l_receiptdate"), Col("l_commitdate")));
+
+  // Orders with at least two distinct suppliers.
+  PlanNodePtr multi = c.b.Project(
+      c.b.Filter(c.b.Aggregate(all_line, {"l_orderkey"},
+                               {CountDistinctAgg(Col("l_suppkey"), "nsupp")}),
+                 Ge(Col("nsupp"), Lit(2))),
+      {{Col("l_orderkey"), "m_orderkey"}});
+  // Orders whose late lineitems all come from a single supplier.
+  PlanNodePtr single_late = c.b.Project(
+      c.b.Filter(c.b.Aggregate(late, {"l_orderkey"},
+                               {CountDistinctAgg(Col("l_suppkey"), "nlate")}),
+                 Eq(Col("nlate"), Lit(1))),
+      {{Col("l_orderkey"), "sl_orderkey"}});
+
+  PlanNodePtr lo = c.b.Join(
+      late, c.b.ScanFiltered("orders", Eq(Col("o_orderstatus"), Lit("F"))),
+      {"l_orderkey"}, {"o_orderkey"});
+  PlanNodePtr los = c.b.Join(lo, c.b.ScanFiltered("supplier", nullptr),
+                             {"l_suppkey"}, {"s_suppkey"});
+  PlanNodePtr losn = c.b.Join(
+      los, c.b.ScanFiltered("nation", Eq(Col("n_name"), Lit(nation))),
+      {"s_nationkey"}, {"n_nationkey"});
+  PlanNodePtr semi1 = c.b.Join(losn, multi, {"o_orderkey"}, {"m_orderkey"},
+                               JoinType::kLeftSemi);
+  PlanNodePtr semi2 = c.b.Join(semi1, single_late, {"o_orderkey"},
+                               {"sl_orderkey"}, JoinType::kLeftSemi);
+  PlanNodePtr root =
+      c.b.Aggregate(semi2, {"s_name"}, {CountAgg("numwait")});
+  return {id, "Q21", root};
+}
+
+QueryPlan Q22(const Ctx& c, QueryId id) {
+  std::vector<Value> ccs =
+      c.variant
+          ? std::vector<Value>{Value("10"), Value("11"), Value("12"),
+                               Value("14"), Value("15"), Value("16"),
+                               Value("19")}
+          : std::vector<Value>{Value("13"), Value("31"), Value("23"),
+                               Value("29"), Value("30"), Value("18"),
+                               Value("17")};
+  PlanNodePtr pos = c.b.ScanFiltered(
+      "customer", And(Expr::In(Col("c_phonecc"), ccs),
+                      Gt(Col("c_acctbal"), Lit(0.0))));
+  PlanNodePtr avg = c.b.Aggregate(
+      pos, {}, {AvgAgg(Col("c_acctbal"), "avg_bal")});
+  PlanNodePtr cand =
+      c.b.ScanFiltered("customer", Expr::In(Col("c_phonecc"), ccs));
+  PlanNodePtr anti =
+      c.b.Join(cand, c.b.ScanFiltered("orders", nullptr), {"c_custkey"},
+               {"o_custkey"}, JoinType::kLeftAnti);
+  PlanNodePtr cross = c.b.Join(anti, avg, {}, {});
+  PlanNodePtr f = c.b.Filter(cross, Gt(Col("c_acctbal"), Col("avg_bal")));
+  PlanNodePtr root = c.b.Aggregate(
+      f, {"c_phonecc"},
+      {CountAgg("numcust"), SumAgg(Col("c_acctbal"), "totacctbal")});
+  return {id, "Q22", root};
+}
+
+}  // namespace
+
+QueryPlan TpchQuery(const Catalog& catalog, int qnum, QueryId id,
+                    bool variant) {
+  Ctx c{PlanBuilder(&catalog, id), variant};
+  QueryPlan plan;
+  switch (qnum) {
+    case 1:
+      plan = Q1(c, id);
+      break;
+    case 2:
+      plan = Q2(c, id);
+      break;
+    case 3:
+      plan = Q3(c, id);
+      break;
+    case 4:
+      plan = Q4(c, id);
+      break;
+    case 5:
+      plan = Q5(c, id);
+      break;
+    case 6:
+      plan = Q6(c, id);
+      break;
+    case 7:
+      plan = Q7(c, id);
+      break;
+    case 8:
+      plan = Q8(c, id);
+      break;
+    case 9:
+      plan = Q9(c, id);
+      break;
+    case 10:
+      plan = Q10(c, id);
+      break;
+    case 11:
+      plan = Q11(c, id);
+      break;
+    case 12:
+      plan = Q12(c, id);
+      break;
+    case 13:
+      plan = Q13(c, id);
+      break;
+    case 14:
+      plan = Q14(c, id);
+      break;
+    case 15:
+      plan = Q15(c, id);
+      break;
+    case 16:
+      plan = Q16(c, id);
+      break;
+    case 17:
+      plan = Q17(c, id);
+      break;
+    case 18:
+      plan = Q18(c, id);
+      break;
+    case 19:
+      plan = Q19(c, id);
+      break;
+    case 20:
+      plan = Q20(c, id);
+      break;
+    case 21:
+      plan = Q21(c, id);
+      break;
+    case 22:
+      plan = Q22(c, id);
+      break;
+    default:
+      CHECK(false) << "no TPC-H query " << qnum;
+  }
+  if (variant) plan.name += "v";
+  return plan;
+}
+
+std::vector<QueryPlan> AllTpchQueries(const Catalog& catalog) {
+  std::vector<QueryPlan> out;
+  out.reserve(22);
+  for (int qnum = 1; qnum <= 22; ++qnum) {
+    out.push_back(TpchQuery(catalog, qnum, qnum - 1));
+  }
+  return out;
+}
+
+QueryPlan PaperQueryA(const Catalog& catalog, QueryId id) {
+  PlanBuilder b(&catalog, id);
+  PlanNodePtr agg_l =
+      b.Aggregate(b.ScanFiltered("lineitem", nullptr), {"l_partkey"},
+                  {SumAgg(Col("l_quantity"), "sum_quantity")});
+  PlanNodePtr j = b.Join(b.ScanFiltered("part", nullptr), agg_l,
+                         {"p_partkey"}, {"l_partkey"});
+  PlanNodePtr root = b.Aggregate(
+      j, {}, {SumAgg(Col("sum_quantity"), "total_sum_quantity")});
+  return {id, "QA", root};
+}
+
+QueryPlan PaperQueryB(const Catalog& catalog, QueryId id) {
+  PlanBuilder b(&catalog, id);
+  PlanNodePtr agg_l =
+      b.Aggregate(b.ScanFiltered("lineitem", nullptr), {"l_partkey"},
+                  {SumAgg(Col("l_quantity"), "sum_quantity")});
+  PlanNodePtr j = b.Join(
+      b.ScanFiltered("part", And(Eq(Col("p_brand"), Lit("Brand#23")),
+                                 Eq(Col("p_size"), Lit(15)))),
+      agg_l, {"p_partkey"}, {"l_partkey"});
+  PlanNodePtr avg = b.Aggregate(
+      j, {}, {AvgAgg(Col("sum_quantity"), "avg_quantity")});
+  PlanNodePtr cross =
+      b.Join(b.ScanFiltered("partsupp", nullptr), avg, {}, {});
+  PlanNodePtr f = b.Filter(cross, Lt(Col("ps_availqty"), Col("avg_quantity")));
+  PlanNodePtr root = b.Project(f, {{Col("ps_partkey"), "ps_partkey"}});
+  return {id, "QB", root};
+}
+
+std::vector<QueryPlan> SharingFriendlyQueries(const Catalog& catalog) {
+  static constexpr int kNums[] = {4, 5, 7, 8, 9, 15, 17, 18, 20, 21};
+  std::vector<QueryPlan> out;
+  QueryId id = 0;
+  for (int qnum : kNums) out.push_back(TpchQuery(catalog, qnum, id++));
+  return out;
+}
+
+std::vector<QueryPlan> DecompositionWorkload(const Catalog& catalog) {
+  static constexpr int kNums[] = {4, 5, 7, 8, 9, 15, 17, 18, 20, 21};
+  std::vector<QueryPlan> out;
+  QueryId id = 0;
+  for (int qnum : kNums) out.push_back(TpchQuery(catalog, qnum, id++));
+  for (int qnum : kNums) {
+    out.push_back(TpchQuery(catalog, qnum, id++, /*variant=*/true));
+  }
+  return out;
+}
+
+}  // namespace ishare

@@ -1,0 +1,49 @@
+#ifndef ISHARE_WORKLOAD_TPCH_QUERIES_H_
+#define ISHARE_WORKLOAD_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "ishare/plan/builder.h"
+#include "ishare/workload/tpch.h"
+
+namespace ishare {
+
+// Builds TPC-H query `qnum` (1..22) as a logical plan tree tagged with
+// query id `id`.
+//
+// The plans follow the engine's operator set (Sec. 2.3): ORDER BY / LIMIT
+// presentation clauses are dropped; EXISTS / IN subqueries become semi
+// joins, NOT EXISTS / NOT IN become anti joins; scalar subqueries become
+// key-less (cross) joins against single-row aggregates; CASE expressions
+// become 0/1-valued boolean expressions multiplied into aggregate
+// arguments; Q13's left outer join keeps only customers with at least one
+// qualifying order; Q22's phone country code is the generated c_phonecc
+// column. Every scan is wrapped in a Filter (possibly with no predicate)
+// so the MQO optimizer's structural signatures line up across queries.
+//
+// With `variant` set, predicate constants are perturbed per Sec. 5.4: half
+// of the equality predicates get a different value and range predicates
+// shift to overlap the original by (at most) 50%. Used by the Fig. 14
+// decomposition experiment.
+QueryPlan TpchQuery(const Catalog& catalog, int qnum, QueryId id,
+                    bool variant = false);
+
+// All 22 TPC-H queries with ids 0..21.
+std::vector<QueryPlan> AllTpchQueries(const Catalog& catalog);
+
+// The paper's example queries from Fig. 2 / Sec. 5.2 (the "PairC"
+// less-incrementable micro-benchmark pair).
+QueryPlan PaperQueryA(const Catalog& catalog, QueryId id);
+QueryPlan PaperQueryB(const Catalog& catalog, QueryId id);
+
+// The 10 "sharing-friendly" queries of Fig. 12: Q4, Q5, Q7, Q8, Q9, Q15,
+// Q17, Q18, Q20, Q21, with ids 0..9.
+std::vector<QueryPlan> SharingFriendlyQueries(const Catalog& catalog);
+
+// The Fig. 14 workload: the 10 sharing-friendly queries plus their
+// predicate variants (ids 0..19).
+std::vector<QueryPlan> DecompositionWorkload(const Catalog& catalog);
+
+}  // namespace ishare
+
+#endif  // ISHARE_WORKLOAD_TPCH_QUERIES_H_

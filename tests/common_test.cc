@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "ishare/common/hash.h"
+#include "ishare/common/query_set.h"
+#include "ishare/common/rng.h"
+#include "ishare/common/status.h"
+
+namespace ishare {
+namespace {
+
+TEST(QuerySetTest, EmptyAndSingle) {
+  QuerySet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+
+  QuerySet s = QuerySet::Single(5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.First(), 5);
+}
+
+TEST(QuerySetTest, SetAlgebra) {
+  QuerySet a = QuerySet::FromIds({0, 2, 4});
+  QuerySet b = QuerySet::FromIds({2, 3});
+  EXPECT_EQ(a.Union(b), QuerySet::FromIds({0, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), QuerySet::Single(2));
+  EXPECT_EQ(a.Minus(b), QuerySet::FromIds({0, 4}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.ContainsAll(b));
+  EXPECT_TRUE(a.ContainsAll(QuerySet::FromIds({0, 4})));
+}
+
+TEST(QuerySetTest, FirstN) {
+  EXPECT_EQ(QuerySet::FirstN(0).size(), 0);
+  EXPECT_EQ(QuerySet::FirstN(3), QuerySet::FromIds({0, 1, 2}));
+  EXPECT_EQ(QuerySet::FirstN(64).size(), 64);
+}
+
+TEST(QuerySetTest, ToIdsRoundTrip) {
+  std::vector<QueryId> ids = {1, 7, 63};
+  EXPECT_EQ(QuerySet::FromIds(ids).ToIds(), ids);
+}
+
+TEST(QuerySetTest, HighestBit) {
+  QuerySet s = QuerySet::Single(63);
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_EQ(s.ToIds(), std::vector<QueryId>{63});
+}
+
+TEST(QuerySetTest, ToString) {
+  EXPECT_EQ(QuerySet::FromIds({0, 3}).ToString(), "{q0,q3}");
+  EXPECT_EQ(QuerySet().ToString(), "{}");
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::InvalidArgument("bad pace");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad pace");
+}
+
+TEST(StatusTest, ResultHoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(StatusTest, ResultHoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(HashTest, MixingChangesValue) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(HashCombine(0, 1), HashCombine(1, 0));
+  EXPECT_NE(HashString("a"), HashString("b"));
+}
+
+}  // namespace
+}  // namespace ishare

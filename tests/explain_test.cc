@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "ishare/plan/explain.h"
+#include "ishare/plan/builder.h"
+#include "test_util.h"
+
+namespace ishare {
+namespace {
+
+SubplanGraph MakeGraph(const Catalog& catalog) {
+  QuerySet both = QuerySet::FromIds({0, 1});
+  PlanNodePtr scan = PlanNode::MakeScan(catalog, "orders", both);
+  std::map<QueryId, ExprPtr> preds;
+  preds[1] = Gt(Col("o_amount"), Lit(50.0));
+  PlanNodePtr filt = PlanNode::MakeFilter(scan, std::move(preds), both);
+  PlanNodePtr agg = PlanNode::MakeAggregate(
+      filt, {"o_custkey"}, {SumAgg(Col("o_amount"), "total")}, both);
+  PlanNodePtr r0 = PlanNode::MakeProject(agg, {{Col("total"), "t"}},
+                                         QuerySet::Single(0));
+  PlanNodePtr r1 = PlanNode::MakeAggregate(agg, {},
+                                           {MaxAgg(Col("total"), "m")},
+                                           QuerySet::Single(1));
+  return SubplanGraph::Build(
+      {QueryPlan{0, "a", r0}, QueryPlan{1, "b", r1}});
+}
+
+TEST(ExplainTest, DotContainsClustersAndEdges) {
+  TestDb db;
+  SubplanGraph g = MakeGraph(db.catalog);
+  std::string dot = ToDot(g, {4, 2, 1});
+  EXPECT_NE(dot.find("digraph shared_plan"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_2"), std::string::npos);
+  EXPECT_NE(dot.find("pace=4"), std::string::npos);
+  EXPECT_NE(dot.find("Scan orders"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(ExplainTest, DotEscapesQuotes) {
+  TestDb db;
+  PlanBuilder b(&db.catalog, 0);
+  QueryPlan q{0, "strpred",
+              b.ScanFiltered("customer", Eq(Col("c_region"), Lit("ASIA")))};
+  SubplanGraph g = SubplanGraph::Build({q});
+  std::string dot = ToDot(g);
+  // The string literal 'ASIA' must not break the DOT label quoting.
+  EXPECT_EQ(dot.find("\"ASIA\""), std::string::npos);
+}
+
+TEST(ExplainTest, SummaryListsEverySubplan) {
+  TestDb db;
+  SubplanGraph g = MakeGraph(db.catalog);
+  std::string s = ExplainSummary(g, {4, 2, 1});
+  EXPECT_NE(s.find("#0"), std::string::npos);
+  EXPECT_NE(s.find("#2"), std::string::npos);
+  EXPECT_NE(s.find("pace=4"), std::string::npos);
+  EXPECT_NE(s.find("roots="), std::string::npos);
+}
+
+TEST(ExplainTest, SummaryWithoutPaces) {
+  TestDb db;
+  SubplanGraph g = MakeGraph(db.catalog);
+  std::string s = ExplainSummary(g);
+  EXPECT_EQ(s.find("pace="), std::string::npos);
+  EXPECT_NE(s.find("ops="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ishare

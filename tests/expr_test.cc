@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "ishare/expr/expr.h"
+
+namespace ishare {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kFloat64},
+                 {"name", DataType::kString}});
+}
+
+Row TestRow(int64_t id, double price, const char* name) {
+  return Row{Value(id), Value(price), Value(std::string(name))};
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(int64_t{2})), 0);
+  EXPECT_EQ(Value(int64_t{2}).Compare(Value(2.0)), 0);
+  EXPECT_GT(Value(2.5).Compare(Value(int64_t{2})), 0);
+}
+
+TEST(ValueTest, CompareString) {
+  EXPECT_LT(Value("abc").Compare(Value("abd")), 0);
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, CrossTypeEquality) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_NE(Value("3"), Value(int64_t{3}));
+}
+
+TEST(ExprTest, ColumnAndLiteral) {
+  Schema s = TestSchema();
+  auto e = CompiledExpr::Compile(Col("price"), s);
+  EXPECT_EQ(e.Eval(TestRow(1, 9.5, "a")).AsDouble(), 9.5);
+
+  auto lit = CompiledExpr::Compile(Lit(7), s);
+  EXPECT_EQ(lit.Eval(TestRow(1, 0, "a")).AsInt(), 7);
+}
+
+TEST(ExprTest, Arithmetic) {
+  Schema s = TestSchema();
+  auto e = CompiledExpr::Compile(Mul(Col("price"), Lit(2.0)), s);
+  EXPECT_DOUBLE_EQ(e.Eval(TestRow(1, 3.5, "a")).AsDouble(), 7.0);
+
+  auto f = CompiledExpr::Compile(Add(Col("id"), Lit(10)), s);
+  EXPECT_EQ(f.Eval(TestRow(5, 0, "a")).AsInt(), 15);
+
+  auto d = CompiledExpr::Compile(Div(Lit(1), Lit(4)), s);
+  EXPECT_DOUBLE_EQ(d.Eval(TestRow(0, 0, "a")).AsDouble(), 0.25);
+}
+
+TEST(ExprTest, DivisionByZeroYieldsZero) {
+  Schema s = TestSchema();
+  auto d = CompiledExpr::Compile(Div(Lit(1), Lit(0)), s);
+  EXPECT_DOUBLE_EQ(d.Eval(TestRow(0, 0, "a")).AsDouble(), 0.0);
+}
+
+TEST(ExprTest, Comparisons) {
+  Schema s = TestSchema();
+  Row r = TestRow(5, 2.5, "mid");
+  EXPECT_TRUE(CompiledExpr::Compile(Gt(Col("id"), Lit(4)), s).EvalBool(r));
+  EXPECT_FALSE(CompiledExpr::Compile(Gt(Col("id"), Lit(5)), s).EvalBool(r));
+  EXPECT_TRUE(CompiledExpr::Compile(Ge(Col("id"), Lit(5)), s).EvalBool(r));
+  EXPECT_TRUE(CompiledExpr::Compile(Eq(Col("name"), Lit("mid")), s).EvalBool(r));
+  EXPECT_TRUE(CompiledExpr::Compile(Ne(Col("name"), Lit("x")), s).EvalBool(r));
+  EXPECT_TRUE(
+      CompiledExpr::Compile(Between(Col("price"), Lit(2.0), Lit(3.0)), s)
+          .EvalBool(r));
+}
+
+TEST(ExprTest, LogicShortCircuits) {
+  Schema s = TestSchema();
+  Row r = TestRow(1, 1.0, "a");
+  // The right operand would CHECK-fail (string < int); AND must not reach it
+  // because the left operand is false.
+  auto e = CompiledExpr::Compile(
+      And(Gt(Col("id"), Lit(100)), Lt(Col("name"), Lit(3))), s);
+  EXPECT_FALSE(e.EvalBool(r));
+}
+
+TEST(ExprTest, InList) {
+  Schema s = TestSchema();
+  auto e = CompiledExpr::Compile(
+      Expr::In(Col("name"), {Value("a"), Value("b")}), s);
+  EXPECT_TRUE(e.EvalBool(TestRow(1, 0, "a")));
+  EXPECT_FALSE(e.EvalBool(TestRow(1, 0, "c")));
+}
+
+TEST(ExprTest, NotNegates) {
+  Schema s = TestSchema();
+  auto e = CompiledExpr::Compile(Not(Eq(Col("id"), Lit(1))), s);
+  EXPECT_FALSE(e.EvalBool(TestRow(1, 0, "a")));
+  EXPECT_TRUE(e.EvalBool(TestRow(2, 0, "a")));
+}
+
+TEST(LikeMatchTest, Patterns) {
+  EXPECT_TRUE(LikeMatch("PROMO BRASS", "%BRASS"));
+  EXPECT_TRUE(LikeMatch("greenish metal", "%green%"));
+  EXPECT_FALSE(LikeMatch("blue metal", "%green%"));
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_TRUE(LikeMatch("special requests", "%special%requests%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+}
+
+TEST(ExprTest, StructuralEquality) {
+  ExprPtr a = Gt(Col("id"), Lit(4));
+  ExprPtr b = Gt(Col("id"), Lit(4));
+  ExprPtr c = Gt(Col("id"), Lit(5));
+  EXPECT_TRUE(Expr::Equals(a, b));
+  EXPECT_FALSE(Expr::Equals(a, c));
+  EXPECT_EQ(Expr::Hash(a), Expr::Hash(b));
+  EXPECT_NE(Expr::Hash(a), Expr::Hash(c));
+}
+
+TEST(ExprTest, OutputTypes) {
+  Schema s = TestSchema();
+  EXPECT_EQ(Col("id")->OutputType(s), DataType::kInt64);
+  EXPECT_EQ(Add(Col("id"), Lit(1))->OutputType(s), DataType::kInt64);
+  EXPECT_EQ(Add(Col("id"), Col("price"))->OutputType(s), DataType::kFloat64);
+  EXPECT_EQ(Div(Col("id"), Lit(2))->OutputType(s), DataType::kFloat64);
+  EXPECT_EQ(Eq(Col("id"), Lit(2))->OutputType(s), DataType::kInt64);
+}
+
+TEST(ExprTest, CollectColumns) {
+  std::vector<std::string> cols;
+  And(Gt(Col("id"), Lit(1)), Lt(Col("price"), Col("id")))->CollectColumns(&cols);
+  EXPECT_EQ(cols, (std::vector<std::string>{"id", "price"}));
+}
+
+TEST(ExprTest, ToStringRendersSql) {
+  EXPECT_EQ(Gt(Col("id"), Lit(4))->ToString(), "(id > 4)");
+  EXPECT_EQ(Expr::Like(Col("name"), "%x%")->ToString(), "name LIKE '%x%'");
+}
+
+}  // namespace
+}  // namespace ishare

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "ishare/harness/experiment.h"
+#include "ishare/harness/report.h"
+#include "ishare/workload/tpch_queries.h"
+#include "test_util.h"
+
+namespace ishare {
+namespace {
+
+TpchDb* Db() {
+  static TpchDb* db = new TpchDb(TpchScale{0.003, 11});
+  return db;
+}
+
+std::vector<QueryPlan> SmallWorkload() {
+  // A compact sharing-friendly trio.
+  return {TpchQuery(Db()->catalog, 5, 0), TpchQuery(Db()->catalog, 7, 1),
+          TpchQuery(Db()->catalog, 3, 2)};
+}
+
+TEST(ExperimentTest, BatchLatenciesPositiveAndCached) {
+  Experiment ex(&Db()->catalog, &Db()->source, SmallWorkload(),
+                {1.0, 1.0, 1.0});
+  const std::vector<double>& lat = ex.BatchLatencies();
+  ASSERT_EQ(lat.size(), 3u);
+  for (double l : lat) EXPECT_GT(l, 0);
+  EXPECT_EQ(&ex.BatchLatencies(), &lat);  // cached
+}
+
+TEST(ExperimentTest, RunProducesPerQueryMetrics) {
+  ApproachOptions opts;
+  opts.max_pace = 10;
+  Experiment ex(&Db()->catalog, &Db()->source, SmallWorkload(),
+                {1.0, 0.5, 0.2}, opts);
+  ExperimentResult r = ex.Run(Approach::kIShare);
+  EXPECT_GT(r.total_work, 0);
+  EXPECT_GT(r.total_seconds, 0);
+  ASSERT_EQ(r.queries.size(), 3u);
+  for (const QueryMetrics& q : r.queries) {
+    EXPECT_GT(q.batch_latency, 0);
+    EXPECT_NEAR(q.latency_goal,
+                q.batch_latency * (q.name == "Q5"   ? 1.0
+                                   : q.name == "Q7" ? 0.5
+                                                    : 0.2),
+                1e-12);
+    EXPECT_GT(q.batch_final_work, 0);
+    EXPECT_NEAR(q.final_work_goal,
+                q.batch_final_work * (q.name == "Q5"   ? 1.0
+                                      : q.name == "Q7" ? 0.5
+                                                       : 0.2),
+                1e-9);
+    EXPECT_GE(q.missed_abs, 0);
+  }
+}
+
+TEST(ExperimentTest, MissedLatencyAggregates) {
+  ExperimentResult r;
+  r.queries.resize(2);
+  r.queries[0].missed_abs = 1.0;
+  r.queries[0].missed_rel = 0.5;
+  r.queries[1].missed_abs = 3.0;
+  r.queries[1].missed_rel = 0.1;
+  EXPECT_DOUBLE_EQ(r.MeanMissedAbs(), 2.0);
+  EXPECT_DOUBLE_EQ(r.MaxMissedAbs(), 3.0);
+  EXPECT_DOUBLE_EQ(r.MeanMissedRel(), 30.0);
+  EXPECT_DOUBLE_EQ(r.MaxMissedRel(), 50.0);
+}
+
+TEST(ExperimentTest, SharedBatchCheaperThanStandaloneOnSharedWork) {
+  // Fig. 10's premise: with loose constraints, batch-shared execution does
+  // less total work than separate batch runs.
+  Experiment ex(&Db()->catalog, &Db()->source, SmallWorkload(),
+                {1.0, 1.0, 1.0});
+  double standalone = ex.StandaloneBatchTotalSeconds();
+  double shared = ex.SharedBatchTotalSeconds();
+  EXPECT_GT(standalone, 0);
+  EXPECT_GT(shared, 0);
+  // Not asserting strict inequality (timing noise at tiny scale), but the
+  // shared run must not blow up.
+  EXPECT_LT(shared, standalone * 2.0);
+}
+
+TEST(ExperimentTest, CalibratedConstraintsReduceMisses) {
+  // Calibration aims the optimizer at measured batch work, so measured
+  // missed latencies should not get worse (usually better).
+  ApproachOptions opts;
+  opts.max_pace = 12;
+  std::vector<QueryPlan> queries = SmallWorkload();
+  std::vector<double> rel = {0.2, 0.2, 0.2};
+  Experiment plain(&Db()->catalog, &Db()->source, queries, rel, opts);
+  Experiment calib(&Db()->catalog, &Db()->source, queries, rel, opts,
+                   /*calibrate_constraints=*/true);
+  ExperimentResult a = plain.Run(Approach::kIShareNoUnshare);
+  ExperimentResult b = calib.Run(Approach::kIShareNoUnshare);
+  EXPECT_LE(b.MeanMissedRel(), a.MeanMissedRel() + 15.0);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"a", "bbbb"});
+  t.AddRow({"xx", "y"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("a   bbbb"), std::string::npos);
+  EXPECT_NE(s.find("xx  y"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace ishare

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "ishare/catalog/catalog.h"
+#include "ishare/storage/delta_buffer.h"
+#include "ishare/storage/stream_source.h"
+
+namespace ishare {
+namespace {
+
+Schema OneCol() { return Schema({{"x", DataType::kInt64}}); }
+
+TEST(DeltaBufferTest, IndependentConsumers) {
+  DeltaBuffer buf(OneCol(), "t");
+  int c1 = buf.RegisterConsumer();
+  buf.Append(DeltaTuple({Value(int64_t{1})}, QuerySet::Single(0), 1));
+  buf.Append(DeltaTuple({Value(int64_t{2})}, QuerySet::Single(0), 1));
+
+  int c2 = buf.RegisterConsumer();  // starts at offset 0
+
+  DeltaBatch b1 = buf.ConsumeNew(c1);
+  EXPECT_EQ(b1.size(), 2u);
+  EXPECT_EQ(buf.Pending(c1), 0);
+  EXPECT_EQ(buf.Pending(c2), 2);
+
+  buf.Append(DeltaTuple({Value(int64_t{3})}, QuerySet::Single(0), 1));
+  EXPECT_EQ(buf.ConsumeNew(c1).size(), 1u);
+  EXPECT_EQ(buf.ConsumeNew(c2).size(), 3u);
+}
+
+TEST(DeltaBufferTest, ConsumeUpToLimits) {
+  DeltaBuffer buf(OneCol());
+  int c = buf.RegisterConsumer();
+  for (int i = 0; i < 5; ++i) {
+    buf.Append(DeltaTuple({Value(int64_t{i})}, QuerySet::Single(0), 1));
+  }
+  EXPECT_EQ(buf.ConsumeUpTo(c, 2).size(), 2u);
+  EXPECT_EQ(buf.ConsumeUpTo(c, 10).size(), 3u);
+  EXPECT_EQ(buf.ConsumeUpTo(c, 10).size(), 0u);
+}
+
+TEST(DeltaBufferTest, ResetClearsLogAndOffsets) {
+  DeltaBuffer buf(OneCol());
+  int c = buf.RegisterConsumer();
+  buf.Append(DeltaTuple({Value(int64_t{1})}, QuerySet::Single(0), 1));
+  (void)buf.ConsumeNew(c);
+  buf.Reset();
+  EXPECT_EQ(buf.size(), 0);
+  EXPECT_EQ(buf.Pending(c), 0);
+  buf.Append(DeltaTuple({Value(int64_t{2})}, QuerySet::Single(0), 1));
+  EXPECT_EQ(buf.ConsumeNew(c).size(), 1u);
+}
+
+std::vector<Row> MakeRows(int n) {
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) rows.push_back({Value(int64_t{i})});
+  return rows;
+}
+
+TEST(StreamSourceTest, AdvancesByFraction) {
+  StreamSource src;
+  DeltaBuffer* buf = src.AddTable("t", OneCol(), MakeRows(100));
+  src.AdvanceTo(0.25);
+  EXPECT_EQ(buf->size(), 25);
+  src.AdvanceTo(0.5);
+  EXPECT_EQ(buf->size(), 50);
+  src.AdvanceTo(1.0);
+  EXPECT_EQ(buf->size(), 100);
+}
+
+TEST(StreamSourceTest, FractionOneReleasesEverythingDespiteRounding) {
+  StreamSource src;
+  DeltaBuffer* buf = src.AddTable("t", OneCol(), MakeRows(7));
+  for (int i = 1; i <= 3; ++i) src.AdvanceTo(i / 3.0);
+  EXPECT_EQ(buf->size(), 7);
+}
+
+TEST(StreamSourceTest, ResetAllowsRerun) {
+  StreamSource src;
+  DeltaBuffer* buf = src.AddTable("t", OneCol(), MakeRows(10));
+  src.AdvanceTo(1.0);
+  src.Reset();
+  EXPECT_EQ(buf->size(), 0);
+  EXPECT_EQ(src.current_fraction(), 0.0);
+  src.AdvanceTo(1.0);
+  EXPECT_EQ(buf->size(), 10);
+}
+
+TEST(CatalogTest, ComputeTableStats) {
+  Schema s({{"k", DataType::kInt64}, {"s", DataType::kString}});
+  std::vector<Row> rows = {
+      {Value(int64_t{1}), Value("a")},
+      {Value(int64_t{2}), Value("a")},
+      {Value(int64_t{2}), Value("b")},
+  };
+  TableStats st = ComputeTableStats(s, rows);
+  EXPECT_EQ(st.row_count, 3);
+  EXPECT_EQ(st.Column("k")->ndv, 2);
+  EXPECT_EQ(st.Column("k")->min, 1);
+  EXPECT_EQ(st.Column("k")->max, 2);
+  EXPECT_TRUE(st.Column("k")->numeric);
+  EXPECT_EQ(st.Column("s")->ndv, 2);
+  EXPECT_FALSE(st.Column("s")->numeric);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog cat;
+  EXPECT_TRUE(cat.AddTable("t", OneCol(), TableStats()).ok());
+  Status st = cat.AddTable("t", OneCol(), TableStats());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace ishare

@@ -1,0 +1,108 @@
+#ifndef ISHARE_TESTS_TEST_UTIL_H_
+#define ISHARE_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ishare/catalog/catalog.h"
+#include "ishare/common/rng.h"
+#include "ishare/plan/builder.h"
+#include "ishare/storage/stream_source.h"
+
+namespace ishare {
+
+// A small deterministic sales dataset used across engine tests:
+//   orders(o_id, o_custkey, o_amount)
+//   customer(c_custkey, c_region)
+class TestDb {
+ public:
+  explicit TestDb(int n_orders = 60, int n_customers = 10, uint64_t seed = 42) {
+    Rng rng(seed);
+    Schema orders({{"o_id", DataType::kInt64},
+                   {"o_custkey", DataType::kInt64},
+                   {"o_amount", DataType::kFloat64}});
+    Schema customer(
+        {{"c_custkey", DataType::kInt64}, {"c_region", DataType::kString}});
+
+    std::vector<Row> order_rows;
+    for (int i = 0; i < n_orders; ++i) {
+      order_rows.push_back({Value(int64_t{i}),
+                            Value(rng.UniformInt(0, n_customers - 1)),
+                            Value(rng.UniformDouble(1.0, 100.0))});
+    }
+    std::vector<Row> customer_rows;
+    const char* regions[] = {"ASIA", "EUROPE", "AMERICA"};
+    for (int i = 0; i < n_customers; ++i) {
+      customer_rows.push_back(
+          {Value(int64_t{i}), Value(std::string(regions[i % 3]))});
+    }
+
+    CHECK(catalog
+              .AddTable("orders", orders,
+                        ComputeTableStats(orders, order_rows))
+              .ok());
+    CHECK(catalog
+              .AddTable("customer", customer,
+                        ComputeTableStats(customer, customer_rows))
+              .ok());
+    source.AddTable("orders", orders, std::move(order_rows));
+    source.AddTable("customer", customer, std::move(customer_rows));
+  }
+
+  Catalog catalog;
+  StreamSource source;
+};
+
+// Compares two materialized results with a relative tolerance on doubles:
+// incremental execution accumulates floating-point sums in a different
+// order than batch execution, so bit-exact comparison is too strict.
+inline bool RowsNear(const Row& a, const Row& b, double tol = 1e-6) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_string() || b[i].is_string() ||
+        (a[i].is_int() && b[i].is_int())) {
+      if (!(a[i] == b[i])) return false;
+    } else {
+      double x = a[i].AsDouble(), y = b[i].AsDouble();
+      double scale = std::max({1.0, std::abs(x), std::abs(y)});
+      if (std::abs(x - y) > tol * scale) return false;
+    }
+  }
+  return true;
+}
+
+inline ::testing::AssertionResult ResultsNear(
+    const std::unordered_map<Row, int64_t, RowHasher>& a,
+    const std::unordered_map<Row, int64_t, RowHasher>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "row counts differ: " << a.size() << " vs " << b.size();
+  }
+  std::vector<std::pair<Row, int64_t>> unmatched(b.begin(), b.end());
+  for (const auto& [row, count] : a) {
+    bool found = false;
+    for (size_t i = 0; i < unmatched.size(); ++i) {
+      if (unmatched[i].second == count && RowsNear(row, unmatched[i].first)) {
+        unmatched[i] = unmatched.back();
+        unmatched.pop_back();
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return ::testing::AssertionFailure()
+             << "no match for row " << RowToString(row) << " x" << count;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace ishare
+
+#endif  // ISHARE_TESTS_TEST_UTIL_H_
