@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_random_constraints.dir/bench_fig09_random_constraints.cc.o"
+  "CMakeFiles/bench_fig09_random_constraints.dir/bench_fig09_random_constraints.cc.o.d"
+  "bench_fig09_random_constraints"
+  "bench_fig09_random_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_random_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

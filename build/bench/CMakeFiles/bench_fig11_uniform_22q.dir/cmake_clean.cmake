@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_uniform_22q.dir/bench_fig11_uniform_22q.cc.o"
+  "CMakeFiles/bench_fig11_uniform_22q.dir/bench_fig11_uniform_22q.cc.o.d"
+  "bench_fig11_uniform_22q"
+  "bench_fig11_uniform_22q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_uniform_22q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

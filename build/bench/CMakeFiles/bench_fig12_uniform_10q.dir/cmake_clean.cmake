@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_uniform_10q.dir/bench_fig12_uniform_10q.cc.o"
+  "CMakeFiles/bench_fig12_uniform_10q.dir/bench_fig12_uniform_10q.cc.o.d"
+  "bench_fig12_uniform_10q"
+  "bench_fig12_uniform_10q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_uniform_10q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

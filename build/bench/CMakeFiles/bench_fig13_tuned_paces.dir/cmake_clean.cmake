@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_tuned_paces.dir/bench_fig13_tuned_paces.cc.o"
+  "CMakeFiles/bench_fig13_tuned_paces.dir/bench_fig13_tuned_paces.cc.o.d"
+  "bench_fig13_tuned_paces"
+  "bench_fig13_tuned_paces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_tuned_paces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_micro_pairs.dir/bench_fig17_micro_pairs.cc.o"
+  "CMakeFiles/bench_fig17_micro_pairs.dir/bench_fig17_micro_pairs.cc.o.d"
+  "bench_fig17_micro_pairs"
+  "bench_fig17_micro_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_micro_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_holistic.dir/bench_holistic.cc.o"
+  "CMakeFiles/bench_holistic.dir/bench_holistic.cc.o.d"
+  "bench_holistic"
+  "bench_holistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_holistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

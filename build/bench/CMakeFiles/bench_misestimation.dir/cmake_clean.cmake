@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_misestimation.dir/bench_misestimation.cc.o"
+  "CMakeFiles/bench_misestimation.dir/bench_misestimation.cc.o.d"
+  "bench_misestimation"
+  "bench_misestimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misestimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard_deadlines.dir/dashboard_deadlines.cpp.o"
+  "CMakeFiles/dashboard_deadlines.dir/dashboard_deadlines.cpp.o.d"
+  "dashboard_deadlines"
+  "dashboard_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etl_window.dir/etl_window.cpp.o"
+  "CMakeFiles/etl_window.dir/etl_window.cpp.o.d"
+  "etl_window"
+  "etl_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etl_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

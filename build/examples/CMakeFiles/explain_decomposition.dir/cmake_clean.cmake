@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explain_decomposition.dir/explain_decomposition.cpp.o"
+  "CMakeFiles/explain_decomposition.dir/explain_decomposition.cpp.o.d"
+  "explain_decomposition"
+  "explain_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explain_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_cli.dir/ishare_cli.cpp.o"
+  "CMakeFiles/ishare_cli.dir/ishare_cli.cpp.o.d"
+  "ishare_cli"
+  "ishare_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

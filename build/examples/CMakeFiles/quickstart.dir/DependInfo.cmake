@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ishare/harness/CMakeFiles/ishare_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/workload/CMakeFiles/ishare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/opt/CMakeFiles/ishare_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/mqo/CMakeFiles/ishare_mqo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/cost/CMakeFiles/ishare_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/exec/CMakeFiles/ishare_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/plan/CMakeFiles/ishare_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/expr/CMakeFiles/ishare_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/catalog/CMakeFiles/ishare_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/types/CMakeFiles/ishare_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/common/CMakeFiles/ishare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("ishare/common")
+subdirs("ishare/types")
+subdirs("ishare/expr")
+subdirs("ishare/catalog")
+subdirs("ishare/storage")
+subdirs("ishare/plan")
+subdirs("ishare/exec")
+subdirs("ishare/cost")
+subdirs("ishare/mqo")
+subdirs("ishare/opt")
+subdirs("ishare/workload")
+subdirs("ishare/harness")

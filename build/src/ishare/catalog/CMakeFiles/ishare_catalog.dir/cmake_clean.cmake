@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_catalog.dir/catalog.cc.o"
+  "CMakeFiles/ishare_catalog.dir/catalog.cc.o.d"
+  "libishare_catalog.a"
+  "libishare_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

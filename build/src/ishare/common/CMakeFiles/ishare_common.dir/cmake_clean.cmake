@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_common.dir/status.cc.o"
+  "CMakeFiles/ishare_common.dir/status.cc.o.d"
+  "libishare_common.a"
+  "libishare_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libishare_common.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_cost.dir/estimator.cc.o"
+  "CMakeFiles/ishare_cost.dir/estimator.cc.o.d"
+  "CMakeFiles/ishare_cost.dir/selectivity.cc.o"
+  "CMakeFiles/ishare_cost.dir/selectivity.cc.o.d"
+  "CMakeFiles/ishare_cost.dir/simulator.cc.o"
+  "CMakeFiles/ishare_cost.dir/simulator.cc.o.d"
+  "libishare_cost.a"
+  "libishare_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

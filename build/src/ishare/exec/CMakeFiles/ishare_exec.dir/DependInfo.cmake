@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ishare/exec/aggregate.cc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/aggregate.cc.o" "gcc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/ishare/exec/hash_join.cc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/hash_join.cc.o" "gcc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/hash_join.cc.o.d"
+  "/root/repo/src/ishare/exec/pace_executor.cc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/pace_executor.cc.o" "gcc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/pace_executor.cc.o.d"
+  "/root/repo/src/ishare/exec/phys_op.cc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/phys_op.cc.o" "gcc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/phys_op.cc.o.d"
+  "/root/repo/src/ishare/exec/subplan_exec.cc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/subplan_exec.cc.o" "gcc" "src/ishare/exec/CMakeFiles/ishare_exec.dir/subplan_exec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ishare/plan/CMakeFiles/ishare_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/expr/CMakeFiles/ishare_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/catalog/CMakeFiles/ishare_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/types/CMakeFiles/ishare_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/common/CMakeFiles/ishare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

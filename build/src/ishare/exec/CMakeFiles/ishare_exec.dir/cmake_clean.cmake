@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_exec.dir/aggregate.cc.o"
+  "CMakeFiles/ishare_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/ishare_exec.dir/hash_join.cc.o"
+  "CMakeFiles/ishare_exec.dir/hash_join.cc.o.d"
+  "CMakeFiles/ishare_exec.dir/pace_executor.cc.o"
+  "CMakeFiles/ishare_exec.dir/pace_executor.cc.o.d"
+  "CMakeFiles/ishare_exec.dir/phys_op.cc.o"
+  "CMakeFiles/ishare_exec.dir/phys_op.cc.o.d"
+  "CMakeFiles/ishare_exec.dir/subplan_exec.cc.o"
+  "CMakeFiles/ishare_exec.dir/subplan_exec.cc.o.d"
+  "libishare_exec.a"
+  "libishare_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

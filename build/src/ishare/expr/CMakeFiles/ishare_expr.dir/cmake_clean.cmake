@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_expr.dir/expr.cc.o"
+  "CMakeFiles/ishare_expr.dir/expr.cc.o.d"
+  "libishare_expr.a"
+  "libishare_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libishare_expr.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_harness.dir/experiment.cc.o"
+  "CMakeFiles/ishare_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/ishare_harness.dir/report.cc.o"
+  "CMakeFiles/ishare_harness.dir/report.cc.o.d"
+  "libishare_harness.a"
+  "libishare_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_mqo.dir/mqo_optimizer.cc.o"
+  "CMakeFiles/ishare_mqo.dir/mqo_optimizer.cc.o.d"
+  "libishare_mqo.a"
+  "libishare_mqo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_mqo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_opt.dir/approaches.cc.o"
+  "CMakeFiles/ishare_opt.dir/approaches.cc.o.d"
+  "CMakeFiles/ishare_opt.dir/decomposition.cc.o"
+  "CMakeFiles/ishare_opt.dir/decomposition.cc.o.d"
+  "CMakeFiles/ishare_opt.dir/pace_optimizer.cc.o"
+  "CMakeFiles/ishare_opt.dir/pace_optimizer.cc.o.d"
+  "libishare_opt.a"
+  "libishare_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

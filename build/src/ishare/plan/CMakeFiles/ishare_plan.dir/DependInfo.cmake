@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ishare/plan/explain.cc" "src/ishare/plan/CMakeFiles/ishare_plan.dir/explain.cc.o" "gcc" "src/ishare/plan/CMakeFiles/ishare_plan.dir/explain.cc.o.d"
+  "/root/repo/src/ishare/plan/plan.cc" "src/ishare/plan/CMakeFiles/ishare_plan.dir/plan.cc.o" "gcc" "src/ishare/plan/CMakeFiles/ishare_plan.dir/plan.cc.o.d"
+  "/root/repo/src/ishare/plan/subplan_graph.cc" "src/ishare/plan/CMakeFiles/ishare_plan.dir/subplan_graph.cc.o" "gcc" "src/ishare/plan/CMakeFiles/ishare_plan.dir/subplan_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ishare/expr/CMakeFiles/ishare_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/catalog/CMakeFiles/ishare_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/types/CMakeFiles/ishare_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/common/CMakeFiles/ishare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_plan.dir/explain.cc.o"
+  "CMakeFiles/ishare_plan.dir/explain.cc.o.d"
+  "CMakeFiles/ishare_plan.dir/plan.cc.o"
+  "CMakeFiles/ishare_plan.dir/plan.cc.o.d"
+  "CMakeFiles/ishare_plan.dir/subplan_graph.cc.o"
+  "CMakeFiles/ishare_plan.dir/subplan_graph.cc.o.d"
+  "libishare_plan.a"
+  "libishare_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_types.dir/schema.cc.o"
+  "CMakeFiles/ishare_types.dir/schema.cc.o.d"
+  "CMakeFiles/ishare_types.dir/value.cc.o"
+  "CMakeFiles/ishare_types.dir/value.cc.o.d"
+  "libishare_types.a"
+  "libishare_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

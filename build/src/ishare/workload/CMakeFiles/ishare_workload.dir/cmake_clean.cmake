@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ishare_workload.dir/tpch.cc.o"
+  "CMakeFiles/ishare_workload.dir/tpch.cc.o.d"
+  "CMakeFiles/ishare_workload.dir/tpch_queries.cc.o"
+  "CMakeFiles/ishare_workload.dir/tpch_queries.cc.o.d"
+  "libishare_workload.a"
+  "libishare_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ishare_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

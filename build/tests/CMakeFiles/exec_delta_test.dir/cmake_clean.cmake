@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_delta_test.dir/exec_delta_test.cc.o"
+  "CMakeFiles/exec_delta_test.dir/exec_delta_test.cc.o.d"
+  "exec_delta_test"
+  "exec_delta_test.pdb"
+  "exec_delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_operator_test.dir/exec_operator_test.cc.o"
+  "CMakeFiles/exec_operator_test.dir/exec_operator_test.cc.o.d"
+  "exec_operator_test"
+  "exec_operator_test.pdb"
+  "exec_operator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

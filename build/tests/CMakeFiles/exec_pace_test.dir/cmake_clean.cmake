@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_pace_test.dir/exec_pace_test.cc.o"
+  "CMakeFiles/exec_pace_test.dir/exec_pace_test.cc.o.d"
+  "exec_pace_test"
+  "exec_pace_test.pdb"
+  "exec_pace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_pace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_edge_test.dir/graph_edge_test.cc.o"
+  "CMakeFiles/graph_edge_test.dir/graph_edge_test.cc.o.d"
+  "graph_edge_test"
+  "graph_edge_test.pdb"
+  "graph_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqo_test.dir/mqo_test.cc.o"
+  "CMakeFiles/mqo_test.dir/mqo_test.cc.o.d"
+  "mqo_test"
+  "mqo_test.pdb"
+  "mqo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

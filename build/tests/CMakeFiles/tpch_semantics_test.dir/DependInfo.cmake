@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tpch_semantics_test.cc" "tests/CMakeFiles/tpch_semantics_test.dir/tpch_semantics_test.cc.o" "gcc" "tests/CMakeFiles/tpch_semantics_test.dir/tpch_semantics_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ishare/workload/CMakeFiles/ishare_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/exec/CMakeFiles/ishare_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/plan/CMakeFiles/ishare_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/expr/CMakeFiles/ishare_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/catalog/CMakeFiles/ishare_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/types/CMakeFiles/ishare_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/ishare/common/CMakeFiles/ishare_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
