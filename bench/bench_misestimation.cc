@@ -53,7 +53,7 @@ int Main(int argc, char** argv) {
       // ...execute on the true data, judge against true batch work.
       db.Reset();
       PaceExecutor exec(&plan.graph, &db.source, cfg.MakeOptions().exec);
-      RunResult run = exec.Run(plan.paces);
+      RunResult run = exec.Run(plan.paces).value();
       Experiment truth_ex(&db.catalog, &db.source, queries, rel,
                           cfg.MakeOptions());
       const std::vector<double>& bfw = truth_ex.BatchFinalWork();

@@ -5,9 +5,32 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "ishare/exec/aggregate.h"
 #include "ishare/exec/hash_join.h"
 #include "ishare/exec/phys_op.h"
+#include "ishare/storage/delta_buffer.h"
+
+// Replaceable global operator new with an allocation counter, so the
+// zero-copy consume benchmark can assert that DeltaBuffer::ConsumeUpTo
+// performs no allocation at all.
+static std::atomic<int64_t> g_alloc_count{0};
+
+// The replacement new is malloc-backed, so freeing in operator delete is
+// correct; gcc cannot see through the replacement and warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace ishare {
 namespace {
@@ -107,6 +130,24 @@ void BM_MaxRescan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MaxRescan);
+
+void BM_ConsumeZeroCopy(benchmark::State& state) {
+  QuerySet qs = QuerySet::Single(0);
+  DeltaBuffer buf(TwoCol(), "zc");
+  buf.AppendBatch(MakeBatch(4096, 64, qs));
+  for (auto _ : state) {
+    state.PauseTiming();
+    int c = buf.RegisterConsumer();
+    state.ResumeTiming();
+    int64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    DeltaSpan span = buf.ConsumeUpTo(c, 4096).value();
+    benchmark::DoNotOptimize(span.size());
+    int64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    CHECK_EQ(before, after) << "ConsumeUpTo must be zero-copy/zero-alloc";
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_ConsumeZeroCopy);
 
 void BM_LikeMatch(benchmark::State& state) {
   std::string text = "carefully final ironic special packages requests";

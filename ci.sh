@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI entry point. Mirrors .github/workflows/ci.yml:
+#   ./ci.sh           -> configure + build + ctest (default preset)
+#   ./ci.sh asan      -> same under -fsanitize=address,undefined
+#   ./ci.sh bench     -> quick robustness benchmark gate (non-zero on failure)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+mode="${1:-default}"
+
+case "$mode" in
+  default|asan)
+    cmake --preset "$mode"
+    cmake --build --preset "$mode" -j "$(nproc)"
+    ctest --preset "$mode"
+    ;;
+  bench)
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target bench_robustness bench_operators
+    ./build/bench/bench_robustness --quick
+    ./build/bench/bench_operators --benchmark_filter=ConsumeZeroCopy --benchmark_min_time=0.05
+    ;;
+  *)
+    echo "usage: $0 [default|asan|bench]" >&2
+    exit 2
+    ;;
+esac

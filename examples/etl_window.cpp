@@ -62,7 +62,7 @@ int main() {
   for (int c : graph.subplan(graph.query_root(0)).children) paces[c] = 10;
 
   PaceExecutor exec(&graph, &source);
-  RunResult run = exec.Run(paces);
+  RunResult run = exec.Run(paces).value();
 
   std::printf("executions per subplan:");
   for (const SubplanRunStats& s : run.subplans) {

@@ -66,7 +66,7 @@ int main() {
   std::printf("\n\n");
 
   PaceExecutor exec(&plan.graph, &source);
-  RunResult run = exec.Run(plan.paces);
+  RunResult run = exec.Run(plan.paces).value();
 
   std::printf("total work: %.0f units over %.3f s\n", run.total_work,
               run.total_seconds);

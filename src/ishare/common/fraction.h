@@ -1,0 +1,41 @@
+#ifndef ISHARE_COMMON_FRACTION_H_
+#define ISHARE_COMMON_FRACTION_H_
+
+#include <cstdint>
+#include <numeric>
+
+namespace ishare {
+
+// Exact rational num/den in lowest terms. Pace schedules are sets of points
+// i/p inside the trigger window; computing them in floating point drifts at
+// paces whose reciprocals are not exactly representable (3, 7, 11, ...), so
+// the executors and the stream source share this exact representation.
+struct Fraction {
+  int64_t num = 0;
+  int64_t den = 1;
+
+  static Fraction Make(int64_t n, int64_t d) {
+    int64_t g = std::gcd(n, d);
+    if (g == 0) g = 1;
+    return Fraction{n / g, d / g};
+  }
+
+  bool operator<(const Fraction& o) const { return num * o.den < o.num * den; }
+  bool operator<=(const Fraction& o) const {
+    return num * o.den <= o.num * den;
+  }
+  bool operator==(const Fraction& o) const {
+    return num == o.num && den == o.den;
+  }
+
+  double ToDouble() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+
+  // True when this fraction is a multiple of 1/pace.
+  bool IsStepOf(int pace) const { return (num * pace) % den == 0; }
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_COMMON_FRACTION_H_

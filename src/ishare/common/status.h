@@ -110,10 +110,16 @@ class Result {
     if (!_st.ok()) return _st;                 \
   } while (0)
 
-#define ISHARE_ASSIGN_OR_RETURN(lhs, expr)     \
-  auto _res_##__LINE__ = (expr);               \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).value();
+#define ISHARE_CONCAT_IMPL_(a, b) a##b
+#define ISHARE_CONCAT_(a, b) ISHARE_CONCAT_IMPL_(a, b)
+
+#define ISHARE_ASSIGN_OR_RETURN(lhs, expr) \
+  ISHARE_ASSIGN_OR_RETURN_IMPL_(ISHARE_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define ISHARE_ASSIGN_OR_RETURN_IMPL_(res, lhs, expr) \
+  auto res = (expr);                                  \
+  if (!res.ok()) return res.status();                 \
+  lhs = std::move(res).value();
 
 }  // namespace ishare
 

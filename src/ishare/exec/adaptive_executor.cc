@@ -1,0 +1,231 @@
+#include "ishare/exec/adaptive_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <set>
+
+#include "ishare/common/fraction.h"
+
+namespace ishare {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+AdaptiveExecutor::AdaptiveExecutor(CostEstimator* estimator,
+                                   StreamSource* source,
+                                   std::vector<double> abs_constraints,
+                                   AdaptivePolicy policy, ExecOptions opts,
+                                   PaceOptimizerOptions opt_opts)
+    : graph_(&estimator->graph()),
+      source_(source),
+      estimator_(estimator),
+      constraints_(std::move(abs_constraints)),
+      policy_(policy),
+      opts_(opts),
+      opt_opts_(opt_opts) {
+  CHECK(estimator != nullptr && source != nullptr);
+  CHECK_EQ(static_cast<int>(constraints_.size()), graph_->num_queries());
+  int n = graph_->num_subplans();
+  buffers_.resize(n);
+  executors_.resize(n);
+  pred_final_.resize(n, 0.0);
+  pred_nonfinal_.resize(n, 0.0);
+  protective_.resize(n, true);
+  for (int i : graph_->TopoChildrenFirst()) {
+    const Subplan& sp = graph_->subplan(i);
+    buffers_[i] = std::make_unique<DeltaBuffer>(
+        sp.root->output_schema, "subplan_" + std::to_string(i));
+    executors_[i] = std::make_unique<SubplanExecutor>(
+        sp, source_, buffers_, buffers_[i].get(), opts_);
+  }
+}
+
+void AdaptiveExecutor::RecomputePredictions() {
+  PlanCost cost = estimator_->Estimate(paces_);
+  pred_total_ = cost.total_work;
+  int n = graph_->num_subplans();
+  for (int s = 0; s < n; ++s) {
+    const SimResult& r = estimator_->SubplanResult(s, paces_);
+    pred_final_[s] = r.private_final_work;
+    pred_nonfinal_[s] =
+        paces_[s] > 1
+            ? (r.private_total_work - r.private_final_work) /
+                  static_cast<double>(paces_[s] - 1)
+            : r.private_final_work;
+  }
+  // A query is at risk when its drift-corrected predicted final work has
+  // less than risk_margin headroom under its constraint; its subplans are
+  // exempt from degradation.
+  std::vector<bool> at_risk(constraints_.size(), false);
+  for (size_t q = 0; q < constraints_.size(); ++q) {
+    double corrected = corrected_ratio_ * cost.query_final_work[q];
+    at_risk[q] = corrected >= constraints_[q] * (1.0 - policy_.risk_margin);
+  }
+  for (int s = 0; s < n; ++s) {
+    protective_[s] = false;
+    for (QueryId q : graph_->subplan(s).queries.ToIds()) {
+      if (q < static_cast<QueryId>(at_risk.size()) && at_risk[q]) {
+        protective_[s] = true;
+      }
+    }
+  }
+}
+
+Result<AdaptiveRunResult> AdaptiveExecutor::Run(
+    const PaceConfig& initial_paces) {
+  ISHARE_RETURN_NOT_OK(ValidatePaceConfig(*graph_, initial_paces));
+  int n = graph_->num_subplans();
+  paces_ = initial_paces;
+  corrected_ratio_ = 1.0;
+  RecomputePredictions();
+
+  AdaptiveRunResult out;
+  out.run.subplans.resize(n);
+  out.stats.pace_history.push_back(paces_);
+  std::vector<int> topo = graph_->TopoChildrenFirst();
+
+  // The schedule is a mutable set of future event points; re-derivation
+  // rebuilds it from the in-flight position.
+  std::set<Fraction> points;
+  auto rebuild_points = [&](const Fraction& after) {
+    points.clear();
+    for (int s = 0; s < n; ++s) {
+      for (int i = 1; i <= paces_[s]; ++i) {
+        Fraction f = Fraction::Make(i, paces_[s]);
+        if (after < f) points.insert(f);
+      }
+    }
+    points.insert(Fraction{1, 1});  // the trigger is never rescheduled away
+  };
+  rebuild_points(Fraction{0, 1});
+
+  // Drift accumulators over *scheduled* executions only; catch-up runs
+  // spend real work (counted in observed_total) but are not part of the
+  // prediction baseline.
+  double drift_obs = 0;
+  double drift_pred = 0;
+  int64_t sched_execs = 0;
+  double observed_total = 0;
+
+  auto ratio = [&]() {
+    if (sched_execs < policy_.min_drift_samples || drift_pred <= kEps) {
+      return 1.0;
+    }
+    return drift_obs / drift_pred;
+  };
+
+  while (!points.empty()) {
+    Fraction f = *points.begin();
+    points.erase(points.begin());
+    ISHARE_RETURN_NOT_OK(source_->AdvanceToStep(f.num, f.den));
+    bool is_trigger = (f.num == f.den);
+
+    // Overload: cumulative work has outrun the drift-corrected pro-rata
+    // budget for the window progress so far.
+    double budget =
+        ratio() * pred_total_ * f.ToDouble() * policy_.overload_factor;
+    bool overloaded = policy_.enable_degradation &&
+                      sched_execs >= policy_.min_drift_samples &&
+                      observed_total > budget;
+
+    for (int s : topo) {
+      bool scheduled = f.IsStepOf(paces_[s]);
+      bool skip = scheduled && !is_trigger && overloaded && !protective_[s];
+      bool catchup = false;
+      if (!scheduled && !is_trigger && policy_.enable_catchup &&
+          protective_[s] && executors_[s]->executions() > 0) {
+        int64_t baseline =
+            std::max<int64_t>(1, executors_[s]->last_input_consumed());
+        catchup = executors_[s]->PendingInput() >=
+                  static_cast<int64_t>(policy_.backlog_factor *
+                                       static_cast<double>(baseline));
+      }
+      if (skip) {
+        ++out.stats.skipped_execs;
+        continue;
+      }
+      if (!scheduled && !catchup) continue;
+
+      ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
+      SubplanRunStats& st = out.run.subplans[s];
+      st.work_per_exec.push_back(rec.work);
+      st.secs_per_exec.push_back(rec.seconds);
+      st.exec_fraction.push_back(f.ToDouble());
+      st.total_work += rec.work;
+      st.total_seconds += rec.seconds;
+      st.tuples_out += rec.tuples_out;
+      if (is_trigger) {
+        st.final_work = rec.work;
+        st.final_seconds = rec.seconds;
+      }
+      out.run.total_work += rec.work;
+      out.run.total_seconds += rec.seconds;
+      observed_total += rec.work;
+      if (catchup) {
+        ++out.stats.catchup_execs;
+      } else {
+        double pred = is_trigger ? pred_final_[s] : pred_nonfinal_[s];
+        if (pred > kEps) {
+          drift_obs += rec.work;
+          drift_pred += pred;
+          ++sched_execs;
+        }
+      }
+    }
+
+    double r = ratio();
+    out.stats.drift_ratio = r;
+
+    // Mid-window pace re-derivation: when the cost model is off by more
+    // than the threshold relative to the last correction, re-aim the
+    // optimizer at drift-corrected constraints and warm-start it from the
+    // schedule in flight.
+    bool drifted =
+        std::abs(r / std::max(corrected_ratio_, kEps) - 1.0) >
+        policy_.drift_threshold;
+    if (!is_trigger && policy_.enable_rederive && drifted &&
+        out.stats.rederivations < policy_.max_rederivations) {
+      auto t0 = std::chrono::steady_clock::now();
+      std::vector<double> scaled(constraints_.size());
+      for (size_t q = 0; q < constraints_.size(); ++q) {
+        scaled[q] = constraints_[q] / std::max(r, kEps);
+      }
+      PaceOptimizer optimizer(estimator_, scaled, opt_opts_);
+      PaceSearchResult search =
+          r > corrected_ratio_
+              ? optimizer.FindPaceConfiguration(&paces_)
+              : optimizer.RefineDecreasing(paces_);
+      out.stats.rederive_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      ++out.stats.rederivations;
+      corrected_ratio_ = r;
+      if (search.paces != paces_) {
+        paces_ = search.paces;
+        out.stats.pace_history.push_back(paces_);
+        rebuild_points(f);
+      }
+    }
+    RecomputePredictions();
+  }
+
+  out.run.query_final_work.assign(graph_->num_queries(), 0.0);
+  out.run.query_latency_seconds.assign(graph_->num_queries(), 0.0);
+  for (QueryId q = 0; q < graph_->num_queries(); ++q) {
+    for (int s : graph_->SubplansOfQuery(q)) {
+      out.run.query_final_work[q] += out.run.subplans[s].final_work;
+      out.run.query_latency_seconds[q] += out.run.subplans[s].final_seconds;
+    }
+  }
+  return out;
+}
+
+DeltaBuffer* AdaptiveExecutor::query_output(QueryId q) const {
+  int root = graph_->query_root(q);
+  CHECK_GE(root, 0);
+  return buffers_[root].get();
+}
+
+}  // namespace ishare

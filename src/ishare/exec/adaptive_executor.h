@@ -1,0 +1,123 @@
+#ifndef ISHARE_EXEC_ADAPTIVE_EXECUTOR_H_
+#define ISHARE_EXEC_ADAPTIVE_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "ishare/common/status.h"
+#include "ishare/cost/estimator.h"
+#include "ishare/exec/pace_executor.h"
+#include "ishare/exec/subplan_exec.h"
+#include "ishare/opt/pace_optimizer.h"
+
+namespace ishare {
+
+// Knobs of the adaptive runtime (see DESIGN.md, "Runtime robustness").
+// Every decision is deterministic given the observed stream, so a run is
+// replayable from a seeded FaultPlan.
+struct AdaptivePolicy {
+  // Re-derive the remaining paces when the observed/predicted work ratio
+  // moves by more than this relative amount since the last correction.
+  double drift_threshold = 0.5;
+  // Declare overload when cumulative observed work exceeds this multiple
+  // of the (drift-corrected) pro-rata work budget for the window so far.
+  double overload_factor = 2.0;
+  // Run an unscheduled catch-up execution when a subplan's pending input
+  // exceeds this multiple of what its last execution consumed.
+  double backlog_factor = 3.0;
+  // Constraint headroom below which a query counts as at-risk; at-risk
+  // queries' subplans are never degraded.
+  double risk_margin = 0.05;
+  // Drift and overload decisions need at least this many observed
+  // scheduled executions (early executions are noise-dominated).
+  int min_drift_samples = 3;
+  // Hard cap on mid-window re-derivations (each costs optimizer time).
+  int max_rederivations = 4;
+
+  bool enable_rederive = true;
+  bool enable_degradation = true;
+  bool enable_catchup = true;
+};
+
+// What the adaptive layer did during one run.
+struct AdaptationStats {
+  int rederivations = 0;
+  int64_t skipped_execs = 0;   // degraded (merged into a later execution)
+  int64_t catchup_execs = 0;   // unscheduled executions against backlog
+  double drift_ratio = 1.0;    // final observed/predicted work ratio
+  double rederive_seconds = 0; // optimizer time spent mid-window
+  // Pace configurations in effect over the run: the initial one plus one
+  // entry per re-derivation.
+  std::vector<PaceConfig> pace_history;
+};
+
+struct AdaptiveRunResult {
+  RunResult run;
+  AdaptationStats stats;
+};
+
+// Pace-schedule executor that keeps the paper's final-work goals when the
+// world diverges from the plan. Unlike PaceExecutor, which replays a
+// precomputed ideal schedule, this executor
+//   1. monitors drift between observed per-execution work and the cost
+//      estimator's prediction, and re-derives the remaining paces
+//      mid-window (PaceOptimizer, warm-started from the schedule in
+//      flight, aimed at drift-corrected constraints);
+//   2. degrades gracefully under overload: scheduled intermediate
+//      executions of subplans whose queries have slack are skipped, which
+//      merges their pending deltas into the next execution instead of
+//      replaying a stale schedule;
+//   3. catches up after bursts: a subplan whose input backlog spikes gets
+//      an unscheduled execution so the backlog does not land in the final
+//      (latency-critical) execution.
+// Correctness is invariant under all three: the trigger execution always
+// runs over all remaining input, so materialized results match the batch
+// results — only work and latency change.
+class AdaptiveExecutor {
+ public:
+  // `estimator` supplies the prediction baseline and the re-derivation
+  // search space; `abs_constraints` are absolute final-work constraints
+  // indexed by query id (same units as the estimator). The stream source
+  // must be freshly constructed or Reset().
+  AdaptiveExecutor(CostEstimator* estimator, StreamSource* source,
+                   std::vector<double> abs_constraints,
+                   AdaptivePolicy policy = AdaptivePolicy(),
+                   ExecOptions opts = ExecOptions(),
+                   PaceOptimizerOptions opt_opts = PaceOptimizerOptions());
+
+  // Executes the whole trigger window starting from `initial_paces`.
+  Result<AdaptiveRunResult> Run(const PaceConfig& initial_paces);
+
+  // Output buffer of query q's root subplan (valid after Run()).
+  DeltaBuffer* query_output(QueryId q) const;
+  DeltaBuffer* subplan_output(int subplan) const {
+    return buffers_[subplan].get();
+  }
+
+ private:
+  // Refreshes per-subplan work predictions and per-query risk flags for
+  // the current pace configuration and drift estimate.
+  void RecomputePredictions();
+
+  const SubplanGraph* graph_;
+  StreamSource* source_;
+  CostEstimator* estimator_;
+  std::vector<double> constraints_;
+  AdaptivePolicy policy_;
+  ExecOptions opts_;
+  PaceOptimizerOptions opt_opts_;
+
+  PaceConfig paces_;
+  double corrected_ratio_ = 1.0;  // drift ratio at the last re-derivation
+  std::vector<double> pred_final_;     // per-subplan final execution work
+  std::vector<double> pred_nonfinal_;  // per-subplan avg intermediate work
+  double pred_total_ = 0;              // whole-window work under paces_
+  std::vector<bool> protective_;       // subplan serves an at-risk query
+
+  std::vector<std::unique_ptr<DeltaBuffer>> buffers_;
+  std::vector<std::unique_ptr<SubplanExecutor>> executors_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_EXEC_ADAPTIVE_EXECUTOR_H_

@@ -70,7 +70,7 @@ void AggregateOp::UpdateAccum(const AggSpec& spec, Accum* a, const Value& v,
   }
 }
 
-DeltaBatch AggregateOp::Process(int child_idx, const DeltaBatch& in) {
+DeltaBatch AggregateOp::Process(int child_idx, DeltaSpan in) {
   CHECK_EQ(child_idx, 0);
   const auto& specs = node_->aggregates;
   for (const DeltaTuple& t : in) {

@@ -27,7 +27,7 @@ class AggregateOp : public PhysOp {
  public:
   AggregateOp(const PlanNode* node, const Schema& input_schema);
 
-  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+  DeltaBatch Process(int child_idx, DeltaSpan in) override;
   DeltaBatch EndExecution() override;
 
   int64_t NumGroups() const { return static_cast<int64_t>(groups_.size()); }

@@ -80,7 +80,7 @@ void HashJoinOp::EmitMatches(const DeltaTuple& t, const Entry& e,
   }
 }
 
-DeltaBatch HashJoinOp::Process(int child_idx, const DeltaBatch& in) {
+DeltaBatch HashJoinOp::Process(int child_idx, DeltaSpan in) {
   CHECK(child_idx == 0 || child_idx == 1);
   if (node_->join_type == JoinType::kInner) {
     return ProcessInner(child_idx, in);
@@ -88,7 +88,7 @@ DeltaBatch HashJoinOp::Process(int child_idx, const DeltaBatch& in) {
   return ProcessSemiAnti(child_idx, in);
 }
 
-DeltaBatch HashJoinOp::ProcessInner(int child_idx, const DeltaBatch& in) {
+DeltaBatch HashJoinOp::ProcessInner(int child_idx, DeltaSpan in) {
   DeltaBatch out;
   const bool from_left = (child_idx == 0);
   SideState* own = from_left ? &left_state_ : &right_state_;
@@ -111,7 +111,7 @@ DeltaBatch HashJoinOp::ProcessInner(int child_idx, const DeltaBatch& in) {
   return out;
 }
 
-DeltaBatch HashJoinOp::ProcessSemiAnti(int child_idx, const DeltaBatch& in) {
+DeltaBatch HashJoinOp::ProcessSemiAnti(int child_idx, DeltaSpan in) {
   const bool semi = (node_->join_type == JoinType::kLeftSemi);
   DeltaBatch out;
 

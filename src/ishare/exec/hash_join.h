@@ -29,7 +29,7 @@ class HashJoinOp : public PhysOp {
   HashJoinOp(const PlanNode* node, const Schema& left_schema,
              const Schema& right_schema);
 
-  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+  DeltaBatch Process(int child_idx, DeltaSpan in) override;
 
   // Current number of stored rows, for tests and diagnostics.
   int64_t LeftStateSize() const { return left_entries_; }
@@ -45,8 +45,8 @@ class HashJoinOp : public PhysOp {
   using MatchCounts =
       std::unordered_map<Row, std::vector<int64_t>, RowHasher>;
 
-  DeltaBatch ProcessInner(int child_idx, const DeltaBatch& in);
-  DeltaBatch ProcessSemiAnti(int child_idx, const DeltaBatch& in);
+  DeltaBatch ProcessInner(int child_idx, DeltaSpan in);
+  DeltaBatch ProcessSemiAnti(int child_idx, DeltaSpan in);
 
   // Applies the tuple's weight to the matching stored row's per-query
   // counters, creating/removing the entry as needed.

@@ -1,37 +1,27 @@
 #include "ishare/exec/pace_executor.h"
 
 #include <algorithm>
-#include <numeric>
 #include <set>
+
+#include "ishare/common/fraction.h"
 
 namespace ishare {
 
-namespace {
-
-// Exact rational i/p in lowest terms; avoids floating-point schedule drift.
-struct Fraction {
-  int64_t num;
-  int64_t den;
-
-  static Fraction Make(int64_t n, int64_t d) {
-    int64_t g = std::gcd(n, d);
-    return Fraction{n / g, d / g};
+Status ValidatePaceConfig(const SubplanGraph& graph, const PaceConfig& paces) {
+  if (static_cast<int>(paces.size()) != graph.num_subplans()) {
+    return Status::InvalidArgument(
+        "pace configuration has " + std::to_string(paces.size()) +
+        " entries for " + std::to_string(graph.num_subplans()) + " subplans");
   }
-
-  bool operator<(const Fraction& o) const { return num * o.den < o.num * den; }
-  bool operator==(const Fraction& o) const {
-    return num == o.num && den == o.den;
+  for (size_t i = 0; i < paces.size(); ++i) {
+    if (paces[i] < 1) {
+      return Status::InvalidArgument("pace " + std::to_string(paces[i]) +
+                                     " of subplan " + std::to_string(i) +
+                                     " is < 1");
+    }
   }
-
-  double ToDouble() const {
-    return static_cast<double>(num) / static_cast<double>(den);
-  }
-
-  // True when this fraction is a multiple of 1/pace.
-  bool IsStepOf(int pace) const { return (num * pace) % den == 0; }
-};
-
-}  // namespace
+  return Status::OK();
+}
 
 PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
                            ExecOptions opts)
@@ -50,10 +40,9 @@ PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
   }
 }
 
-RunResult PaceExecutor::Run(const PaceConfig& paces) {
+Result<RunResult> PaceExecutor::Run(const PaceConfig& paces) {
+  ISHARE_RETURN_NOT_OK(ValidatePaceConfig(*graph_, paces));
   int n = graph_->num_subplans();
-  CHECK_EQ(static_cast<int>(paces.size()), n);
-  for (int p : paces) CHECK_GE(p, 1);
 
   // Event points: every i/p_s for every subplan s.
   std::set<Fraction> points;
@@ -68,11 +57,11 @@ RunResult PaceExecutor::Run(const PaceConfig& paces) {
   std::vector<int> topo = graph_->TopoChildrenFirst();
 
   for (const Fraction& f : points) {
-    source_->AdvanceTo(f.ToDouble());
+    ISHARE_RETURN_NOT_OK(source_->AdvanceToStep(f.num, f.den));
     bool is_trigger = (f.num == f.den);
     for (int s : topo) {
       if (!f.IsStepOf(paces[s])) continue;
-      ExecRecord rec = executors_[s]->RunExecution();
+      ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
       SubplanRunStats& st = result.subplans[s];
       st.work_per_exec.push_back(rec.work);
       st.secs_per_exec.push_back(rec.seconds);

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "ishare/common/status.h"
 #include "ishare/exec/subplan_exec.h"
 #include "ishare/plan/subplan_graph.h"
 #include "ishare/storage/stream_source.h"
@@ -15,6 +16,10 @@ namespace ishare {
 // means the subplan starts one incremental execution whenever the system
 // has received 1/k of the trigger window's data (Sec. 2.2).
 using PaceConfig = std::vector<int>;
+
+// Checks that `paces` is a usable configuration for `graph`: one pace per
+// subplan, every pace >= 1. Shared by the static and adaptive executors.
+Status ValidatePaceConfig(const SubplanGraph& graph, const PaceConfig& paces);
 
 // Per-subplan measurements of one pace-driven run.
 struct SubplanRunStats {
@@ -50,8 +55,10 @@ class PaceExecutor {
                ExecOptions opts = ExecOptions());
 
   // Executes the whole trigger window under `paces`; paces.size() must
-  // equal the number of subplans and every pace must be >= 1.
-  RunResult Run(const PaceConfig& paces);
+  // equal the number of subplans and every pace must be >= 1. Malformed
+  // configurations and runtime storage failures return Status instead of
+  // aborting.
+  Result<RunResult> Run(const PaceConfig& paces);
 
   // Output buffer of query q's root subplan (valid after Run()).
   DeltaBuffer* query_output(QueryId q) const;

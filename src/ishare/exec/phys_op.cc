@@ -7,7 +7,7 @@
 
 namespace ishare {
 
-DeltaBatch ScanOp::Process(int child_idx, const DeltaBatch& in) {
+DeltaBatch ScanOp::Process(int child_idx, DeltaSpan in) {
   CHECK_EQ(child_idx, 0);
   DeltaBatch out;
   out.reserve(in.size());
@@ -20,7 +20,7 @@ DeltaBatch ScanOp::Process(int child_idx, const DeltaBatch& in) {
   return out;
 }
 
-DeltaBatch SubplanInputOp::Process(int child_idx, const DeltaBatch& in) {
+DeltaBatch SubplanInputOp::Process(int child_idx, DeltaSpan in) {
   CHECK_EQ(child_idx, 0);
   DeltaBatch out;
   out.reserve(in.size());
@@ -53,7 +53,7 @@ FilterOp::FilterOp(const PlanNode* node, const Schema& input_schema)
   }
 }
 
-DeltaBatch FilterOp::Process(int child_idx, const DeltaBatch& in) {
+DeltaBatch FilterOp::Process(int child_idx, DeltaSpan in) {
   CHECK_EQ(child_idx, 0);
   DeltaBatch out;
   out.reserve(in.size());
@@ -79,7 +79,7 @@ ProjectOp::ProjectOp(const PlanNode* node, const Schema& input_schema)
   }
 }
 
-DeltaBatch ProjectOp::Process(int child_idx, const DeltaBatch& in) {
+DeltaBatch ProjectOp::Process(int child_idx, DeltaSpan in) {
   CHECK_EQ(child_idx, 0);
   DeltaBatch out;
   out.reserve(in.size());

@@ -27,7 +27,7 @@ class PhysOp {
   const PlanNode* node() const { return node_; }
 
   // Processes one delta batch arriving from child `child_idx`.
-  virtual DeltaBatch Process(int child_idx, const DeltaBatch& in) = 0;
+  virtual DeltaBatch Process(int child_idx, DeltaSpan in) = 0;
 
   // Flushes any output held back until the end of the current incremental
   // execution. Default: nothing held back.
@@ -45,7 +45,7 @@ class PhysOp {
 class ScanOp : public PhysOp {
  public:
   explicit ScanOp(const PlanNode* node) : PhysOp(node) {}
-  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+  DeltaBatch Process(int child_idx, DeltaSpan in) override;
 };
 
 // Masks tuples pulled from a child subplan's buffer down to this subplan's
@@ -53,7 +53,7 @@ class ScanOp : public PhysOp {
 class SubplanInputOp : public PhysOp {
  public:
   explicit SubplanInputOp(const PlanNode* node) : PhysOp(node) {}
-  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+  DeltaBatch Process(int child_idx, DeltaSpan in) override;
 };
 
 // Shared select: evaluates each distinct predicate once per tuple and
@@ -62,7 +62,7 @@ class SubplanInputOp : public PhysOp {
 class FilterOp : public PhysOp {
  public:
   FilterOp(const PlanNode* node, const Schema& input_schema);
-  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+  DeltaBatch Process(int child_idx, DeltaSpan in) override;
 
  private:
   struct PredGroup {
@@ -76,7 +76,7 @@ class FilterOp : public PhysOp {
 class ProjectOp : public PhysOp {
  public:
   ProjectOp(const PlanNode* node, const Schema& input_schema);
-  DeltaBatch Process(int child_idx, const DeltaBatch& in) override;
+  DeltaBatch Process(int child_idx, DeltaSpan in) override;
 
  private:
   std::vector<CompiledExpr> exprs_;

@@ -19,15 +19,24 @@ SubplanExecutor::OpNode SubplanExecutor::BuildTree(const PlanNodePtr& node) {
   n.op = CreatePhysOp(node.get());
   if (node->kind == PlanKind::kScan) {
     n.input_buffer = source_->buffer(node->table_name);
+    if (n.input_buffer == nullptr) {
+      init_status_ = Status::NotFound("scan table '" + node->table_name +
+                                      "' not registered in the stream source");
+      return n;
+    }
     n.consumer_id = n.input_buffer->RegisterConsumer();
     return n;
   }
   if (node->kind == PlanKind::kSubplanInput) {
-    CHECK(node->input_subplan >= 0 &&
-          node->input_subplan < static_cast<int>(buffers_.size()));
+    if (node->input_subplan < 0 ||
+        node->input_subplan >= static_cast<int>(buffers_.size()) ||
+        buffers_[node->input_subplan] == nullptr) {
+      init_status_ = Status::Internal(
+          "child subplan buffer " + std::to_string(node->input_subplan) +
+          " missing");
+      return n;
+    }
     n.input_buffer = buffers_[node->input_subplan].get();
-    CHECK(n.input_buffer != nullptr)
-        << "child subplan buffer " << node->input_subplan << " missing";
     n.consumer_id = n.input_buffer->RegisterConsumer();
     return n;
   }
@@ -38,15 +47,17 @@ SubplanExecutor::OpNode SubplanExecutor::BuildTree(const PlanNodePtr& node) {
   return n;
 }
 
-DeltaBatch SubplanExecutor::Pump(OpNode& n) {
+Result<DeltaBatch> SubplanExecutor::Pump(OpNode& n, int64_t* tuples_in) {
   DeltaBatch collected;
   if (n.input_buffer != nullptr) {
-    DeltaBatch raw = n.input_buffer->ConsumeNew(n.consumer_id);
-    if (raw.empty()) return {};
+    ISHARE_ASSIGN_OR_RETURN(DeltaSpan raw,
+                            n.input_buffer->ConsumeNew(n.consumer_id));
+    if (raw.empty()) return DeltaBatch{};
+    *tuples_in += static_cast<int64_t>(raw.size());
     return n.op->Process(0, raw);
   }
   for (size_t i = 0; i < n.children.size(); ++i) {
-    DeltaBatch b = Pump(n.children[i]);
+    ISHARE_ASSIGN_OR_RETURN(DeltaBatch b, Pump(n.children[i], tuples_in));
     if (b.empty()) continue;
     DeltaBatch o = n.op->Process(static_cast<int>(i), b);
     collected.insert(collected.end(), std::make_move_iterator(o.begin()),
@@ -76,17 +87,36 @@ std::vector<OpWork> SubplanExecutor::OpWorkBreakdown() const {
   return out;
 }
 
-ExecRecord SubplanExecutor::RunExecution() {
+void SubplanExecutor::CollectPending(const OpNode& n, int64_t* out) const {
+  if (n.input_buffer != nullptr) {
+    int64_t p = n.input_buffer->Pending(n.consumer_id);
+    if (p > 0) *out += p;
+    return;
+  }
+  for (const OpNode& c : n.children) CollectPending(c, out);
+}
+
+int64_t SubplanExecutor::PendingInput() const {
+  int64_t pending = 0;
+  CollectPending(root_, &pending);
+  return pending;
+}
+
+Result<ExecRecord> SubplanExecutor::RunExecution() {
+  ISHARE_RETURN_NOT_OK(init_status_);
   auto start = std::chrono::steady_clock::now();
-  DeltaBatch out = Pump(root_);
+  int64_t tuples_in = 0;
+  ISHARE_ASSIGN_OR_RETURN(DeltaBatch out, Pump(root_, &tuples_in));
   output_->AppendBatch(out);
   auto end = std::chrono::steady_clock::now();
 
   ++executions_;
+  last_input_consumed_ = tuples_in;
   double total = TotalOpWork(root_);
   ExecRecord rec;
   rec.work = (total - last_total_work_) + opts_.startup_cost;
   rec.seconds = std::chrono::duration<double>(end - start).count();
+  rec.tuples_in = tuples_in;
   rec.tuples_out = static_cast<int64_t>(out.size());
   last_total_work_ = total;
   return rec;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "ishare/common/status.h"
 #include "ishare/exec/metrics.h"
 #include "ishare/exec/phys_op.h"
 #include "ishare/plan/subplan_graph.h"
@@ -16,6 +17,7 @@ namespace ishare {
 struct ExecRecord {
   double work = 0;     // cost-model units, incl. the per-execution startup
   double seconds = 0;  // wall-clock time of this execution
+  int64_t tuples_in = 0;   // input deltas drained from the leaf buffers
   int64_t tuples_out = 0;
 };
 
@@ -24,6 +26,9 @@ struct ExecRecord {
 // subplan outputs), and on each RunExecution() drains all pending input,
 // pushes it through the operators and appends the result to the subplan's
 // output buffer.
+//
+// Storage failures (poisoned buffers, missing tables) surface as Status
+// from RunExecution instead of crashing the whole shared runtime.
 class SubplanExecutor {
  public:
   // `subplan_buffers[i]` must outlive this executor and already exist for
@@ -36,7 +41,7 @@ class SubplanExecutor {
   SubplanExecutor& operator=(const SubplanExecutor&) = delete;
 
   // Executes one incremental step over all newly arrived input.
-  ExecRecord RunExecution();
+  Result<ExecRecord> RunExecution();
 
   DeltaBuffer* output() const { return output_; }
 
@@ -45,6 +50,15 @@ class SubplanExecutor {
   std::vector<OpWork> OpWorkBreakdown() const;
 
   int64_t executions() const { return executions_; }
+
+  // Input deltas waiting in the leaf buffers (base tables and child
+  // subplan outputs) that the next execution would drain. The adaptive
+  // executor watches this for burst backlogs.
+  int64_t PendingInput() const;
+
+  // Input deltas drained by the most recent execution (0 before the
+  // first); the adaptive executor's backlog baseline.
+  int64_t last_input_consumed() const { return last_input_consumed_; }
 
  private:
   struct OpNode {
@@ -56,8 +70,9 @@ class SubplanExecutor {
   };
 
   OpNode BuildTree(const PlanNodePtr& node);
-  DeltaBatch Pump(OpNode& n);
+  Result<DeltaBatch> Pump(OpNode& n, int64_t* tuples_in);
   void CollectWork(const OpNode& n, std::vector<OpWork>* out) const;
+  void CollectPending(const OpNode& n, int64_t* out) const;
   double TotalOpWork(const OpNode& n) const;
 
   OpNode root_;
@@ -65,7 +80,9 @@ class SubplanExecutor {
   ExecOptions opts_;
   StreamSource* source_;
   const std::vector<std::unique_ptr<DeltaBuffer>>& buffers_;
+  Status init_status_;
   int64_t executions_ = 0;
+  int64_t last_input_consumed_ = 0;
   double last_total_work_ = 0;
 };
 

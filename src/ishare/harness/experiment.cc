@@ -1,10 +1,28 @@
 #include "ishare/harness/experiment.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "ishare/exec/pace_executor.h"
 
 namespace ishare {
+
+namespace {
+
+// The harness drives executors with configurations it derived itself, so a
+// runtime error here is a harness bug: surface it loudly.
+RunResult Unwrap(Result<RunResult> r) {
+  CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+}  // namespace
+
+int ExperimentResult::DeadlinesMet() const {
+  int n = 0;
+  for (const QueryMetrics& q : queries) n += q.deadline_met ? 1 : 0;
+  return n;
+}
 
 double ExperimentResult::MeanMissedAbs() const {
   if (queries.empty()) return 0;
@@ -50,6 +68,18 @@ Experiment::Experiment(const Catalog* catalog, StreamSource* source,
   }
 }
 
+void Experiment::SetFaultPlan(FaultPlan plan) {
+  Status st = plan.Validate();
+  CHECK(st.ok()) << st.ToString();
+  perturbed_ = std::make_unique<PerturbedStreamSource>(std::move(plan));
+  st = source_->CloneTablesInto(perturbed_.get());
+  CHECK(st.ok()) << st.ToString();
+}
+
+StreamSource* Experiment::RunSource() {
+  return perturbed_ != nullptr ? perturbed_.get() : source_;
+}
+
 const std::vector<double>& Experiment::BatchLatencies() {
   if (batch_done_) return batch_latencies_;
   batch_latencies_.assign(queries_.size(), 0.0);
@@ -59,7 +89,7 @@ const std::vector<double>& Experiment::BatchLatencies() {
     source_->Reset();
     SubplanGraph g = SubplanGraph::Build({q});
     PaceExecutor exec(&g, source_, opts_.exec);
-    RunResult r = exec.Run(PaceConfig(g.num_subplans(), 1));
+    RunResult r = Unwrap(exec.Run(PaceConfig(g.num_subplans(), 1)));
     batch_latencies_[q.id] = r.query_latency_seconds[q.id];
     batch_final_work_[q.id] = r.query_final_work[q.id];
     standalone_batch_seconds_ += r.total_seconds;
@@ -83,31 +113,14 @@ double Experiment::SharedBatchTotalSeconds() {
   SubplanGraph g = SubplanGraph::Build(mqo.Merge(queries_));
   source_->Reset();
   PaceExecutor exec(&g, source_, opts_.exec);
-  RunResult r = exec.Run(PaceConfig(g.num_subplans(), 1));
+  RunResult r = Unwrap(exec.Run(PaceConfig(g.num_subplans(), 1)));
   return r.total_seconds;
 }
 
-ExperimentResult Experiment::Run(Approach approach) {
+ExperimentResult Experiment::BuildResult(Approach approach,
+                                         const OptimizedPlan& plan,
+                                         const RunResult& run) {
   const std::vector<double>& batch = BatchLatencies();
-
-  std::vector<double> rel_for_opt = rel_;
-  if (calibrate_constraints_) {
-    // Aim the optimizer's absolute constraints at the measured batch final
-    // work rather than the estimated one (recurring-query calibration).
-    for (const QueryPlan& q : queries_) {
-      double est = EstimateStandaloneBatchWork(q, *catalog_, opts_.exec);
-      if (est > 0) {
-        rel_for_opt[q.id] = rel_[q.id] * batch_final_work_[q.id] / est;
-      }
-    }
-  }
-  OptimizedPlan plan =
-      OptimizePlan(approach, queries_, *catalog_, rel_for_opt, opts_);
-
-  source_->Reset();
-  PaceExecutor exec(&plan.graph, source_, opts_.exec);
-  RunResult run = exec.Run(plan.paces);
-
   ExperimentResult res;
   res.approach = approach;
   res.total_work = run.total_work;
@@ -133,7 +146,50 @@ ExperimentResult Experiment::Run(Approach approach) {
     m.missed_abs = missed_work * sec_per_work;
     m.missed_rel =
         m.final_work_goal > 0 ? missed_work / m.final_work_goal : 0.0;
+    m.deadline_met = missed_work <= 0;
   }
+  return res;
+}
+
+OptimizedPlan Experiment::Optimize(Approach approach) {
+  BatchLatencies();  // ensure measured batch baselines exist
+  std::vector<double> rel_for_opt = rel_;
+  if (calibrate_constraints_) {
+    // Aim the optimizer's absolute constraints at the measured batch final
+    // work rather than the estimated one (recurring-query calibration).
+    for (const QueryPlan& q : queries_) {
+      double est = EstimateStandaloneBatchWork(q, *catalog_, opts_.exec);
+      if (est > 0) {
+        rel_for_opt[q.id] = rel_[q.id] * batch_final_work_[q.id] / est;
+      }
+    }
+  }
+  return OptimizePlan(approach, queries_, *catalog_, rel_for_opt, opts_);
+}
+
+ExperimentResult Experiment::Run(Approach approach) {
+  OptimizedPlan plan = Optimize(approach);
+  StreamSource* src = RunSource();
+  src->Reset();
+  PaceExecutor exec(&plan.graph, src, opts_.exec);
+  RunResult run = Unwrap(exec.Run(plan.paces));
+  return BuildResult(approach, plan, run);
+}
+
+ExperimentResult Experiment::RunAdaptive(Approach approach,
+                                         AdaptivePolicy policy) {
+  OptimizedPlan plan = Optimize(approach);
+  StreamSource* src = RunSource();
+  src->Reset();
+  CostEstimator est(&plan.graph, catalog_, opts_.exec,
+                    opts_.memoized_estimator);
+  AdaptiveExecutor exec(&est, src, plan.abs_constraints, policy, opts_.exec,
+                        PaceOptimizerOptions{opts_.max_pace,
+                                             opts_.deadline_seconds});
+  auto r = exec.Run(plan.paces);
+  CHECK(r.ok()) << r.status().ToString();
+  ExperimentResult res = BuildResult(approach, plan, r->run);
+  res.adaptation = r->stats;
   return res;
 }
 

@@ -1,10 +1,13 @@
 #ifndef ISHARE_HARNESS_EXPERIMENT_H_
 #define ISHARE_HARNESS_EXPERIMENT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ishare/exec/adaptive_executor.h"
 #include "ishare/opt/approaches.h"
+#include "ishare/storage/perturbed_source.h"
 
 namespace ishare {
 
@@ -27,6 +30,7 @@ struct QueryMetrics {
   double latency_goal = 0;      // rel_constraint * batch_latency (Sec. 5.1)
   double missed_abs = 0;        // work-based miss converted to seconds
   double missed_rel = 0;        // work-based miss / goal
+  bool deadline_met = true;     // final_work <= final_work_goal
 };
 
 struct ExperimentResult {
@@ -37,7 +41,10 @@ struct ExperimentResult {
   double est_total_work = 0;         // optimizer's estimate, for comparison
   std::vector<QueryMetrics> queries;
   DecomposeStats decompose_stats;
+  // Populated by RunAdaptive(); zeros for static runs.
+  AdaptationStats adaptation;
 
+  int DeadlinesMet() const;  // number of queries with deadline_met
   double MeanMissedAbs() const;
   double MaxMissedAbs() const;
   double MeanMissedRel() const;  // percent
@@ -67,6 +74,18 @@ class Experiment {
 
   ExperimentResult Run(Approach approach);
 
+  // Like Run(), but executes the optimized plan through the adaptive
+  // runtime (drift monitoring, mid-window pace re-derivation, graceful
+  // degradation) instead of replaying the static schedule.
+  ExperimentResult RunAdaptive(Approach approach,
+                               AdaptivePolicy policy = AdaptivePolicy());
+
+  // Executes subsequent Run()/RunAdaptive() calls through a
+  // PerturbedStreamSource applying `plan` to a clone of the clean source.
+  // Batch baselines (latency goals) are still measured on the clean
+  // stream, so misses are reported against the undisturbed ideal.
+  void SetFaultPlan(FaultPlan plan);
+
   // Measured latency of executing each query standalone in one batch;
   // computed lazily once and cached (defines the latency goals).
   const std::vector<double>& BatchLatencies();
@@ -83,8 +102,16 @@ class Experiment {
   const ApproachOptions& options() const { return opts_; }
 
  private:
+  // The source scheduled runs execute against: the clean source, or the
+  // fault-injecting clone when a fault plan is set.
+  StreamSource* RunSource();
+  OptimizedPlan Optimize(Approach approach);
+  ExperimentResult BuildResult(Approach approach, const OptimizedPlan& plan,
+                               const RunResult& run);
+
   const Catalog* catalog_;
   StreamSource* source_;
+  std::unique_ptr<PerturbedStreamSource> perturbed_;
   std::vector<QueryPlan> queries_;
   std::vector<double> rel_;
   ApproachOptions opts_;

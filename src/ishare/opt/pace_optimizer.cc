@@ -53,11 +53,17 @@ bool PaceOptimizer::ConstraintsMet(const PlanCost& cost) const {
   return true;
 }
 
-PaceSearchResult PaceOptimizer::FindPaceConfiguration() {
+PaceSearchResult PaceOptimizer::FindPaceConfiguration(
+    const PaceConfig* warm_start) {
   const SubplanGraph& g = estimator_->graph();
   int n = g.num_subplans();
   PaceSearchResult res;
-  res.paces.assign(n, 1);
+  if (warm_start != nullptr) {
+    CHECK_EQ(static_cast<int>(warm_start->size()), n);
+    res.paces = *warm_start;
+  } else {
+    res.paces.assign(n, 1);
+  }
   res.cost = estimator_->Estimate(res.paces);
   auto start = std::chrono::steady_clock::now();
 

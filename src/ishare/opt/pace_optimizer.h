@@ -47,7 +47,12 @@ class PaceOptimizer {
   // pace of the subplan with the highest incrementability until every
   // query meets its constraint, every pace reaches max_pace, or no single
   // increment reduces any missed final work.
-  PaceSearchResult FindPaceConfiguration();
+  //
+  // With `warm_start` set, the search begins from that configuration
+  // instead of P_1 — the adaptive runtime re-derives paces mid-window
+  // starting from the schedule already in flight.
+  PaceSearchResult FindPaceConfiguration(
+      const PaceConfig* warm_start = nullptr);
 
   // Post-decomposition refinement (Sec. 4.2): starts from `initial` and
   // repeatedly lowers the pace of the subplan with the *lowest*

@@ -34,6 +34,39 @@ struct DeltaTuple {
 
 using DeltaBatch = std::vector<DeltaTuple>;
 
+// Non-owning, read-only view over a contiguous run of delta tuples. This is
+// what the zero-copy consume path of DeltaBuffer hands out: the view stays
+// valid until the underlying buffer is appended to or reset, which the
+// executors guarantee within one incremental execution.
+class DeltaSpan {
+ public:
+  DeltaSpan() = default;
+  DeltaSpan(const DeltaTuple* data, size_t size) : data_(data), size_(size) {}
+  // Implicit so operators keep accepting DeltaBatch at call sites.
+  DeltaSpan(const DeltaBatch& batch)  // NOLINT
+      : data_(batch.data()), size_(batch.size()) {}
+  // Views a braced list of tuples; valid only for the full expression the
+  // list appears in (like passing a DeltaBatch temporary). That caveat is
+  // exactly what -Winit-list-lifetime flags, so silence it here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+  DeltaSpan(std::initializer_list<DeltaTuple> il)  // NOLINT
+      : data_(il.begin()), size_(il.size()) {}
+#pragma GCC diagnostic pop
+
+  const DeltaTuple* begin() const { return data_; }
+  const DeltaTuple* end() const { return data_ + size_; }
+  const DeltaTuple& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  DeltaBatch ToBatch() const { return DeltaBatch(begin(), end()); }
+
+ private:
+  const DeltaTuple* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 }  // namespace ishare
 
 #endif  // ISHARE_STORAGE_DELTA_H_

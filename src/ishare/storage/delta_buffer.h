@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ishare/common/check.h"
+#include "ishare/common/status.h"
 #include "ishare/storage/delta.h"
 #include "ishare/types/schema.h"
 
@@ -17,6 +19,12 @@ namespace ishare {
 // root has two or more parent subplans materializes its output here, and
 // each parent pulls new tuples at its own pace (Sec. 2.2). Base relations
 // are buffers of the same kind fed by the StreamSource.
+//
+// Runtime-facing entry points (the Consume* family) are part of the
+// recoverable error spine: malformed-but-possible inputs (a bad consumer
+// id, a negative limit) and injected storage faults surface as Status
+// instead of aborting, so a shared executor can fail one run without
+// taking down co-scheduled queries.
 class DeltaBuffer {
  public:
   DeltaBuffer() = default;
@@ -42,33 +50,37 @@ class DeltaBuffer {
   }
   int num_consumers() const { return static_cast<int>(offsets_.size()); }
 
+  // Offset of `consumer`, or -1 if the id is not registered.
   int64_t ConsumerOffset(int consumer) const {
-    CHECK(consumer >= 0 && consumer < num_consumers());
+    if (consumer < 0 || consumer >= num_consumers()) return -1;
     return offsets_[consumer];
   }
 
-  // Number of tuples the consumer has not read yet.
+  // Number of tuples the consumer has not read yet; -1 for a bad id.
   int64_t Pending(int consumer) const {
-    return size() - ConsumerOffset(consumer);
+    if (consumer < 0 || consumer >= num_consumers()) return -1;
+    return size() - offsets_[consumer];
   }
 
   // Reads all tuples newer than the consumer's offset and advances it.
-  DeltaBatch ConsumeNew(int consumer) {
-    CHECK(consumer >= 0 && consumer < num_consumers());
-    int64_t from = offsets_[consumer];
-    DeltaBatch out(log_.begin() + from, log_.end());
-    offsets_[consumer] = size();
-    return out;
+  // The returned view aliases the log: it stays valid until the next
+  // Append/AppendBatch/Reset and costs no allocation or copy.
+  Result<DeltaSpan> ConsumeNew(int consumer) {
+    return ConsumeUpTo(consumer, size());
   }
 
   // Reads up to `limit` new tuples and advances the offset accordingly.
-  DeltaBatch ConsumeUpTo(int consumer, int64_t limit) {
-    CHECK(consumer >= 0 && consumer < num_consumers());
+  Result<DeltaSpan> ConsumeUpTo(int consumer, int64_t limit) {
+    ISHARE_RETURN_NOT_OK(ConsumeCheck(consumer));
+    if (limit < 0) {
+      return Status::InvalidArgument("negative consume limit " +
+                                     std::to_string(limit) + " on buffer '" +
+                                     name_ + "'");
+    }
     int64_t from = offsets_[consumer];
     int64_t to = std::min(size(), from + limit);
-    DeltaBatch out(log_.begin() + from, log_.begin() + to);
     offsets_[consumer] = to;
-    return out;
+    return DeltaSpan(log_.data() + from, static_cast<size_t>(to - from));
   }
 
   const std::vector<DeltaTuple>& log() const { return log_; }
@@ -79,11 +91,31 @@ class DeltaBuffer {
     std::fill(offsets_.begin(), offsets_.end(), 0);
   }
 
+  // Fault injection: every subsequent consume returns `st` until
+  // ClearFault(). Models a poisoned/unreachable topic partition; tests use
+  // it to prove the executors surface storage failures instead of crashing.
+  void InjectFault(Status st) {
+    CHECK(!st.ok()) << "injected fault must be an error";
+    fault_ = std::move(st);
+  }
+  void ClearFault() { fault_ = Status::OK(); }
+
  private:
+  Status ConsumeCheck(int consumer) const {
+    if (!fault_.ok()) return fault_;
+    if (consumer < 0 || consumer >= num_consumers()) {
+      return Status::InvalidArgument(
+          "unknown consumer id " + std::to_string(consumer) + " on buffer '" +
+          name_ + "' (" + std::to_string(num_consumers()) + " registered)");
+    }
+    return Status::OK();
+  }
+
   Schema schema_;
   std::string name_;
   std::vector<DeltaTuple> log_;
   std::vector<int64_t> offsets_;
+  Status fault_;
 };
 
 }  // namespace ishare

@@ -1,0 +1,95 @@
+#ifndef ISHARE_STORAGE_PERTURBED_SOURCE_H_
+#define ISHARE_STORAGE_PERTURBED_SOURCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ishare/storage/stream_source.h"
+
+namespace ishare {
+
+// One deterministic deviation from the paper's uniform-arrival assumption.
+// Faults are declarative: a plan fully describes a run's perturbation, so
+// tests and benches replay identical fault traces from a seed.
+struct FaultEvent {
+  enum class Kind {
+    // Instantly releases an extra `magnitude` fraction of the window's
+    // data at point `at` (a producer catching up, a replayed partition).
+    kBurst,
+    // No data arrives in [at, at + duration] (broker hiccup, backpressure).
+    kStall,
+    // Arrival rate is multiplied by `magnitude` (>= 0) in
+    // [at, at + duration]; < 1 models interference, > 1 a hot producer.
+    kRateDrift,
+    // Every affected table lags the window clock by a deterministic,
+    // seeded offset in [0, magnitude]. Lagged data that never arrives
+    // before the trigger is released at the trigger itself (late data).
+    kJitter,
+    // Rows whose window positions fall in [at, at + duration] are
+    // released in a seeded shuffled order. Applied only to insert-only
+    // regions: reordering a delete before its insert would break the
+    // delta-stream contract, so such regions are left untouched.
+    kReorder,
+  };
+
+  Kind kind = Kind::kBurst;
+  double at = 0;        // window fraction where the fault begins
+  double duration = 0;  // region length (stall / drift / reorder)
+  double magnitude = 0; // burst size, rate factor, or max jitter lag
+  std::string table;    // affected table; empty = every table
+
+  std::string ToString() const;
+};
+
+// A replayable fault schedule: the seed drives every random choice the
+// source makes (jitter lags, reorder shuffles), so two sources built from
+// the same plan release byte-identical streams.
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  Status Validate() const;
+  std::string ToString() const;
+
+  // A plan with `num_events` random faults of mixed kinds. When `tables`
+  // is non-empty, roughly half the events target a random single table.
+  static FaultPlan Random(uint64_t seed, int num_events,
+                          const std::vector<std::string>& tables = {});
+};
+
+// StreamSource whose release schedule is perturbed by a FaultPlan. The
+// requested window fraction t is mapped, per table, through a monotone
+// warp W(t) built from the plan's events; W(t) is the data fraction
+// actually visible at window time t. At the trigger (t = 1) every row is
+// released regardless, so correctness is invariant under faults — only
+// when work happens changes, which is exactly what the adaptive executor
+// must absorb.
+class PerturbedStreamSource : public StreamSource {
+ public:
+  explicit PerturbedStreamSource(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Data fraction of `table` released once the window reaches `t`.
+  double WarpFraction(const std::string& table, double t) const;
+
+ protected:
+  Status DoAdvance(double fraction, const Fraction* exact) override;
+
+ private:
+  double JitterLag(const std::string& table) const;
+  // Release permutation for `t` (identity except in reorder regions);
+  // built once per table and kept across Reset() so replays are identical.
+  const std::vector<int64_t>& Permutation(const std::string& name,
+                                          const TableStream& t);
+
+  FaultPlan plan_;
+  Status plan_status_;
+  std::unordered_map<std::string, std::vector<int64_t>> perms_;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_STORAGE_PERTURBED_SOURCE_H_

@@ -78,11 +78,11 @@ TEST(ApplySplitTest, ThreeWayResultsPreserved) {
   for (QueryId q = 0; q < 3; ++q) {
     db.source.Reset();
     PaceExecutor e1(&g, &db.source);
-    e1.Run(PaceConfig(g.num_subplans(), 2));
+    e1.Run(PaceConfig(g.num_subplans(), 2)).value();
     ResultMap before = MaterializeResult(*e1.query_output(q), q);
     db.source.Reset();
     PaceExecutor e2(&ng, &db.source);
-    e2.Run(init);
+    e2.Run(init).value();
     ResultMap after = MaterializeResult(*e2.query_output(q), q);
     EXPECT_TRUE(ResultsNear(after, before)) << "query " << q;
   }
@@ -197,12 +197,12 @@ TEST(DecomposerTest, TpchDecompositionPreservesResults) {
     db->Reset();
     SubplanGraph g = SubplanGraph::Build({q});
     PaceExecutor exec(&g, &db->source);
-    exec.Run(PaceConfig(g.num_subplans(), 1));
+    exec.Run(PaceConfig(g.num_subplans(), 1)).value();
     ref.push_back(MaterializeResult(*exec.query_output(q.id), q.id));
   }
   db->Reset();
   PaceExecutor exec(&plan.graph, &db->source);
-  exec.Run(plan.paces);
+  exec.Run(plan.paces).value();
   for (const QueryPlan& q : queries) {
     EXPECT_TRUE(ResultsNear(MaterializeResult(*exec.query_output(q.id), q.id),
                             ref[q.id]))

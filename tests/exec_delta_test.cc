@@ -56,7 +56,7 @@ class DeltaStreamFixture : public ::testing::Test {
     source_.Reset();
     SubplanGraph g = SubplanGraph::Build({q});
     PaceExecutor exec(&g, &source_);
-    exec.Run(PaceConfig(g.num_subplans(), pace));
+    exec.Run(PaceConfig(g.num_subplans(), pace)).value();
     return MaterializeResult(*exec.query_output(q.id), q.id);
   }
 
@@ -173,7 +173,7 @@ TEST(DeltaJoinTest, JoinRetractsAcrossTables) {
     source.Reset();
     SubplanGraph g = SubplanGraph::Build({q});
     PaceExecutor exec(&g, &source);
-    exec.Run(PaceConfig(g.num_subplans(), pace));
+    exec.Run(PaceConfig(g.num_subplans(), pace)).value();
     auto res = MaterializeResult(*exec.query_output(0), 0);
     // Only key 2 survives: two left rows x one right row.
     EXPECT_EQ(res.size(), 2u) << "pace " << pace;

@@ -32,7 +32,7 @@ ResultMap RunAndMaterialize(TestDb* db, const SubplanGraph& g,
                             RunResult* result_out = nullptr) {
   db->source.Reset();
   PaceExecutor exec(&g, &db->source);
-  RunResult r = exec.Run(paces);
+  RunResult r = exec.Run(paces).value();
   if (result_out != nullptr) *result_out = r;
   return MaterializeResult(*exec.query_output(q), q);
 }

@@ -50,7 +50,7 @@ TEST(ExtraCutTest, CutGraphExecutesEquivalently) {
   auto run = [&](const SubplanGraph& g, const PaceConfig& p) {
     db.source.Reset();
     PaceExecutor exec(&g, &db.source);
-    exec.Run(p);
+    exec.Run(p).value();
     return MaterializeResult(*exec.query_output(0), 0);
   };
   SubplanGraph plain = SubplanGraph::Build({q});
@@ -147,7 +147,7 @@ TEST(ScheduleTest, OverlappingPacePointsExecuteOncePerSubplan) {
   paces[shared] = 4;
   db.source.Reset();
   PaceExecutor exec(&g, &db.source);
-  RunResult r = exec.Run(paces);
+  RunResult r = exec.Run(paces).value();
   EXPECT_EQ(r.subplans[shared].work_per_exec.size(), 4u);
   for (int i = 0; i < g.num_subplans(); ++i) {
     if (i == shared) continue;
@@ -164,7 +164,7 @@ TEST(ScheduleTest, CoprimePacesInterleave) {
   SubplanGraph g = SubplanGraph::Build({q});
   db.source.Reset();
   PaceExecutor exec(&g, &db.source);
-  RunResult r = exec.Run({7});
+  RunResult r = exec.Run({7}).value();
   ASSERT_EQ(r.subplans[0].exec_fraction.size(), 7u);
   for (size_t i = 0; i < 7; ++i) {
     EXPECT_NEAR(r.subplans[0].exec_fraction[i], (i + 1) / 7.0, 1e-12);

@@ -154,7 +154,7 @@ TEST(MqoTest, MergedPlanExecutesCorrectlyForBothQueries) {
     db.source.Reset();
     SubplanGraph g = SubplanGraph::Build({q});
     PaceExecutor exec(&g, &db.source);
-    exec.Run({1});
+    exec.Run({1}).value();
     ref.push_back(MaterializeResult(*exec.query_output(q.id), q.id));
   }
 
@@ -162,7 +162,7 @@ TEST(MqoTest, MergedPlanExecutesCorrectlyForBothQueries) {
   SubplanGraph g = SubplanGraph::Build(mqo.Merge(queries));
   db.source.Reset();
   PaceExecutor exec(&g, &db.source);
-  exec.Run(PaceConfig(g.num_subplans(), 4));
+  exec.Run(PaceConfig(g.num_subplans(), 4)).value();
   for (QueryId q = 0; q < 2; ++q) {
     EXPECT_EQ(MaterializeResult(*exec.query_output(q), q), ref[q])
         << "query " << q;

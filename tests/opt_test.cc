@@ -169,7 +169,7 @@ TEST(ApplySplitTest, SplitPreservesQueryResults) {
                  QueryId q) {
     db.source.Reset();
     PaceExecutor exec(&graph, &db.source);
-    exec.Run(paces);
+    exec.Run(paces).value();
     return MaterializeResult(*exec.query_output(q), q);
   };
   for (QueryId q = 0; q < 2; ++q) {
@@ -203,7 +203,7 @@ TEST(ApproachesTest, AllApproachesProduceValidExecutablePlans) {
     db.source.Reset();
     SubplanGraph g = SubplanGraph::Build({q});
     PaceExecutor exec(&g, &db.source);
-    exec.Run({1});
+    exec.Run({1}).value();
     ref[q.id] = MaterializeResult(*exec.query_output(q.id), q.id);
   }
 
@@ -217,7 +217,7 @@ TEST(ApproachesTest, AllApproachesProduceValidExecutablePlans) {
     ASSERT_TRUE(plan.graph.Validate().ok()) << ApproachName(a);
     db.source.Reset();
     PaceExecutor exec(&plan.graph, &db.source);
-    exec.Run(plan.paces);
+    exec.Run(plan.paces).value();
     for (QueryId q = 0; q < 2; ++q) {
       EXPECT_EQ(MaterializeResult(*exec.query_output(q), q), ref[q])
           << ApproachName(a) << " query " << q;

@@ -56,7 +56,7 @@ TEST_P(EstimatorCalibration, BatchEstimateWithinBandOfMeasurement) {
   Db()->Reset();
   SubplanGraph g = SubplanGraph::Build({q});
   PaceExecutor exec(&g, &Db()->source);
-  RunResult r = exec.Run(PaceConfig(g.num_subplans(), 1));
+  RunResult r = exec.Run(PaceConfig(g.num_subplans(), 1)).value();
   double measured = r.query_final_work[0];
 
   EXPECT_GT(est, 0);
@@ -79,7 +79,7 @@ TEST_P(PaceSweep, RuntimeInvariants) {
   SubplanGraph g = SubplanGraph::Build({q});
   Db()->Reset();
   PaceExecutor exec(&g, &Db()->source);
-  RunResult r = exec.Run(PaceConfig(g.num_subplans(), pace));
+  RunResult r = exec.Run(PaceConfig(g.num_subplans(), pace)).value();
 
   for (int s = 0; s < g.num_subplans(); ++s) {
     const SubplanRunStats& st = r.subplans[s];
@@ -121,7 +121,7 @@ TEST(DuplicateRowTest, ProjectionCreatingDuplicatesKeepsMultiplicity) {
     source.Reset();
     SubplanGraph g = SubplanGraph::Build({q});
     PaceExecutor exec(&g, &source);
-    exec.Run(PaceConfig(g.num_subplans(), pace));
+    exec.Run(PaceConfig(g.num_subplans(), pace)).value();
     auto res = MaterializeResult(*exec.query_output(0), 0);
     ASSERT_EQ(res.size(), 3u);
     for (const auto& [row, mult] : res) {
@@ -150,7 +150,7 @@ TEST(DuplicateRowTest, JoinOnDuplicateRowsMultipliesWeights) {
     source.Reset();
     SubplanGraph g = SubplanGraph::Build({q});
     PaceExecutor exec(&g, &source);
-    exec.Run(PaceConfig(g.num_subplans(), pace));
+    exec.Run(PaceConfig(g.num_subplans(), pace)).value();
     auto res = MaterializeResult(*exec.query_output(0), 0);
     ASSERT_EQ(res.size(), 1u);
     EXPECT_EQ(res.begin()->first[0].AsInt(), 6) << "pace " << pace;
@@ -178,13 +178,13 @@ TEST(MixedPaceTest, ParentLazierThanChildConverges) {
   }
   db->Reset();
   PaceExecutor e1(&g, &db->source);
-  e1.Run(paces);
+  e1.Run(paces).value();
   auto mixed0 = MaterializeResult(*e1.query_output(0), 0);
   auto mixed1 = MaterializeResult(*e1.query_output(1), 1);
 
   db->Reset();
   PaceExecutor e2(&g, &db->source);
-  e2.Run(PaceConfig(g.num_subplans(), 1));
+  e2.Run(PaceConfig(g.num_subplans(), 1)).value();
   EXPECT_TRUE(ResultsNear(mixed0, MaterializeResult(*e2.query_output(0), 0)));
   EXPECT_TRUE(ResultsNear(mixed1, MaterializeResult(*e2.query_output(1), 1)));
 }

@@ -17,14 +17,14 @@ TEST(DeltaBufferTest, IndependentConsumers) {
 
   int c2 = buf.RegisterConsumer();  // starts at offset 0
 
-  DeltaBatch b1 = buf.ConsumeNew(c1);
+  DeltaSpan b1 = buf.ConsumeNew(c1).value();
   EXPECT_EQ(b1.size(), 2u);
   EXPECT_EQ(buf.Pending(c1), 0);
   EXPECT_EQ(buf.Pending(c2), 2);
 
   buf.Append(DeltaTuple({Value(int64_t{3})}, QuerySet::Single(0), 1));
-  EXPECT_EQ(buf.ConsumeNew(c1).size(), 1u);
-  EXPECT_EQ(buf.ConsumeNew(c2).size(), 3u);
+  EXPECT_EQ(buf.ConsumeNew(c1).value().size(), 1u);
+  EXPECT_EQ(buf.ConsumeNew(c2).value().size(), 3u);
 }
 
 TEST(DeltaBufferTest, ConsumeUpToLimits) {
@@ -33,9 +33,9 @@ TEST(DeltaBufferTest, ConsumeUpToLimits) {
   for (int i = 0; i < 5; ++i) {
     buf.Append(DeltaTuple({Value(int64_t{i})}, QuerySet::Single(0), 1));
   }
-  EXPECT_EQ(buf.ConsumeUpTo(c, 2).size(), 2u);
-  EXPECT_EQ(buf.ConsumeUpTo(c, 10).size(), 3u);
-  EXPECT_EQ(buf.ConsumeUpTo(c, 10).size(), 0u);
+  EXPECT_EQ(buf.ConsumeUpTo(c, 2).value().size(), 2u);
+  EXPECT_EQ(buf.ConsumeUpTo(c, 10).value().size(), 3u);
+  EXPECT_EQ(buf.ConsumeUpTo(c, 10).value().size(), 0u);
 }
 
 TEST(DeltaBufferTest, ResetClearsLogAndOffsets) {
@@ -47,7 +47,7 @@ TEST(DeltaBufferTest, ResetClearsLogAndOffsets) {
   EXPECT_EQ(buf.size(), 0);
   EXPECT_EQ(buf.Pending(c), 0);
   buf.Append(DeltaTuple({Value(int64_t{2})}, QuerySet::Single(0), 1));
-  EXPECT_EQ(buf.ConsumeNew(c).size(), 1u);
+  EXPECT_EQ(buf.ConsumeNew(c).value().size(), 1u);
 }
 
 std::vector<Row> MakeRows(int n) {
@@ -59,29 +59,29 @@ std::vector<Row> MakeRows(int n) {
 TEST(StreamSourceTest, AdvancesByFraction) {
   StreamSource src;
   DeltaBuffer* buf = src.AddTable("t", OneCol(), MakeRows(100));
-  src.AdvanceTo(0.25);
+  ASSERT_TRUE(src.AdvanceTo(0.25).ok());
   EXPECT_EQ(buf->size(), 25);
-  src.AdvanceTo(0.5);
+  ASSERT_TRUE(src.AdvanceTo(0.5).ok());
   EXPECT_EQ(buf->size(), 50);
-  src.AdvanceTo(1.0);
+  ASSERT_TRUE(src.AdvanceTo(1.0).ok());
   EXPECT_EQ(buf->size(), 100);
 }
 
 TEST(StreamSourceTest, FractionOneReleasesEverythingDespiteRounding) {
   StreamSource src;
   DeltaBuffer* buf = src.AddTable("t", OneCol(), MakeRows(7));
-  for (int i = 1; i <= 3; ++i) src.AdvanceTo(i / 3.0);
+  for (int i = 1; i <= 3; ++i) ASSERT_TRUE(src.AdvanceTo(i / 3.0).ok());
   EXPECT_EQ(buf->size(), 7);
 }
 
 TEST(StreamSourceTest, ResetAllowsRerun) {
   StreamSource src;
   DeltaBuffer* buf = src.AddTable("t", OneCol(), MakeRows(10));
-  src.AdvanceTo(1.0);
+  ASSERT_TRUE(src.AdvanceTo(1.0).ok());
   src.Reset();
   EXPECT_EQ(buf->size(), 0);
   EXPECT_EQ(src.current_fraction(), 0.0);
-  src.AdvanceTo(1.0);
+  ASSERT_TRUE(src.AdvanceTo(1.0).ok());
   EXPECT_EQ(buf->size(), 10);
 }
 

@@ -26,7 +26,7 @@ class TpchSemantics : public ::testing::Test {
   // Raw rows of a base table (reads the fully released stream).
   static std::vector<Row> Rows(const std::string& table) {
     Db()->Reset();
-    Db()->source.AdvanceTo(1.0);
+    CHECK(Db()->source.AdvanceTo(1.0).ok());
     std::vector<Row> out;
     for (const DeltaTuple& t : Db()->source.buffer(table)->log()) {
       out.push_back(t.row);
@@ -43,7 +43,7 @@ class TpchSemantics : public ::testing::Test {
     Db()->Reset();
     SubplanGraph g = SubplanGraph::Build({q});
     PaceExecutor exec(&g, &Db()->source);
-    exec.Run(PaceConfig(g.num_subplans(), 1));
+    exec.Run(PaceConfig(g.num_subplans(), 1)).value();
     return MaterializeResult(*exec.query_output(q.id), q.id);
   }
 };

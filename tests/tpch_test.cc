@@ -20,7 +20,7 @@ ResultMap RunOne(const QueryPlan& q, int pace) {
   Db()->Reset();
   SubplanGraph g = SubplanGraph::Build({q});
   PaceExecutor exec(&g, &Db()->source);
-  exec.Run(PaceConfig(g.num_subplans(), pace));
+  exec.Run(PaceConfig(g.num_subplans(), pace)).value();
   return MaterializeResult(*exec.query_output(q.id), q.id);
 }
 
@@ -115,7 +115,7 @@ TEST(TpchWorkloadTest, PaperQueriesExecuteEquivalently) {
   SubplanGraph g = SubplanGraph::Build(mqo.Merge({qa, qb}));
   Db()->Reset();
   PaceExecutor exec(&g, &Db()->source);
-  exec.Run(PaceConfig(g.num_subplans(), 3));
+  exec.Run(PaceConfig(g.num_subplans(), 3)).value();
   EXPECT_TRUE(ResultsNear(MaterializeResult(*exec.query_output(0), 0), ra));
   EXPECT_TRUE(ResultsNear(MaterializeResult(*exec.query_output(1), 1), rb));
 }
@@ -131,7 +131,7 @@ TEST(TpchWorkloadTest, MergedFullWorkloadMatchesStandalone) {
   ASSERT_TRUE(g.Validate().ok());
   Db()->Reset();
   PaceExecutor exec(&g, &Db()->source);
-  exec.Run(PaceConfig(g.num_subplans(), 2));
+  exec.Run(PaceConfig(g.num_subplans(), 2)).value();
   for (const QueryPlan& q : queries) {
     EXPECT_TRUE(
         ResultsNear(MaterializeResult(*exec.query_output(q.id), q.id),
