@@ -92,7 +92,7 @@ int Main(int argc, char** argv) {
     }
     t.Print();
   }
-  return 0;
+  return FinishBench(cfg, "bench_ablation", {});
 }
 
 }  // namespace

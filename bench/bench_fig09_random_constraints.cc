@@ -82,7 +82,12 @@ int Main(int argc, char** argv) {
     merged.push_back(std::move(m));
   }
   PrintMissedLatencyTable("Table 1 (Random) — missed latencies", merged);
-  return 0;
+
+  std::vector<ExperimentResult> all;
+  for (Approach a : StandardApproaches()) {
+    all.insert(all.end(), agg[a].runs.begin(), agg[a].runs.end());
+  }
+  return FinishBench(cfg, "bench_fig09_random_constraints", all);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ int Main(int argc, char** argv) {
   std::printf("\nshared batch execution saves %.1f%% of the separate "
               "execution time\n",
               100.0 * (1.0 - shared / separate));
-  return 0;
+  return FinishBench(cfg, "bench_fig10_batch_sharing", {});
 }
 
 }  // namespace

@@ -19,7 +19,7 @@ int Main(int argc, char** argv) {
   PrintMissedLatencyTable(
       "Table 1 (Uniform, 22 queries) — missed latencies",
       MergeByApproach(all, StandardApproaches()));
-  return 0;
+  return FinishBench(cfg, "bench_fig11_uniform_22q", all);
 }
 
 }  // namespace

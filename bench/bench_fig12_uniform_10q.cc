@@ -21,7 +21,7 @@ int Main(int argc, char** argv) {
   PrintMissedLatencyTable(
       "Table 1 (Uniform, 10 queries) — missed latencies",
       MergeByApproach(all, StandardApproaches()));
-  return 0;
+  return FinishBench(cfg, "bench_fig12_uniform_10q", all);
 }
 
 }  // namespace

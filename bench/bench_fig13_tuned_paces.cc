@@ -62,7 +62,7 @@ int Main(int argc, char** argv) {
                 i + 2 < results.size() ? "," : "");
   }
   std::printf("\n");
-  return 0;
+  return FinishBench(cfg, "bench_fig13_tuned_paces", results);
 }
 
 }  // namespace

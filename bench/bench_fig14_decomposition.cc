@@ -41,7 +41,7 @@ int Main(int argc, char** argv) {
                 static_cast<long long>(
                     r.decompose_stats.partitions_evaluated));
   }
-  return 0;
+  return FinishBench(cfg, "bench_fig14_decomposition", all);
 }
 
 }  // namespace

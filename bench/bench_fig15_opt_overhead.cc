@@ -45,7 +45,7 @@ int Main(int argc, char** argv) {
   std::printf("\n== Fig. 15 — optimization time (DNF budget %.0fs) ==\n",
               kDnfBudget);
   t.Print();
-  return 0;
+  return FinishBench(cfg, "bench_fig15_opt_overhead", {});
 }
 
 }  // namespace

@@ -45,7 +45,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n== Fig. 16 — decomposition optimization time ==\n");
   t.Print();
-  return 0;
+  return FinishBench(cfg, "bench_fig16_clustering_overhead", {});
 }
 
 }  // namespace

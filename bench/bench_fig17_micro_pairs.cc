@@ -47,7 +47,7 @@ int Main(int argc, char** argv) {
   // PairC: the paper's Fig. 2 queries.
   RunPair(&db, "c", PaperQueryA(db.catalog, 0), PaperQueryB(db.catalog, 1),
           cfg);
-  return 0;
+  return FinishBench(cfg, "bench_fig17_micro_pairs", {});
 }
 
 }  // namespace

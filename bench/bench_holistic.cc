@@ -107,7 +107,7 @@ int Main(int argc, char** argv) {
   std::printf("\nwork_ratio ~ 1 means iShare matches the exhaustive search's "
               "plan quality at a fraction of the optimization cost, as the "
               "paper reports.\n");
-  return 0;
+  return FinishBench(cfg, "bench_holistic", {});
 }
 
 }  // namespace

@@ -78,7 +78,7 @@ int Main(int argc, char** argv) {
   }
   std::printf("\n== CPU and missed latency under statistic skew ==\n");
   t.Print();
-  return 0;
+  return FinishBench(cfg, "bench_misestimation", {});
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+// Asserts the observability layer's cost contract (DESIGN.md §7): with
+// instrumentation compiled in and enabled, a full optimize+execute cycle
+// must run within 3% of the same binary with instrumentation disabled at
+// runtime (obs::SetEnabled(false) turns every mutator into a near-free
+// early return — the same hot-path shape as an ISHARE_OBS_ENABLED=0
+// build). Exits non-zero on violation, so CI can gate on it.
+//
+// Methodology: min-of-N repetitions of an identical workload, interleaved
+// enabled/disabled to cancel thermal and cache drift, with an absolute
+// floor so micro-runs dominated by timer noise cannot fail spuriously.
+
+#include <algorithm>
+#include <chrono>
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+// One full shared-execution cycle: greedy pace search + decomposition over
+// four sharing-friendly queries, then the window execution — every
+// instrumented code path (estimator memo, optimizer iterations,
+// decomposition rounds, subplan executions, per-query histograms) runs.
+double RunOnce(TpchDb* db, const std::vector<QueryPlan>& queries,
+               const BenchConfig& cfg, double* sink) {
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<double> rel(queries.size(), 0.2);
+  Experiment ex(&db->catalog, &db->source, queries, rel, cfg.MakeOptions());
+  ExperimentResult r = ex.Run(Approach::kIShare);
+  *sink += r.total_work + r.MeanMissedRel();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Observability overhead — instrumented vs disabled", cfg);
+  std::printf("# compiled with ISHARE_OBS_ENABLED=%d\n", ISHARE_OBS_ENABLED);
+
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries = {
+      TpchQuery(db.catalog, 5, 0), TpchQuery(db.catalog, 7, 1),
+      TpchQuery(db.catalog, 8, 2), TpchQuery(db.catalog, 9, 3)};
+
+  const int kReps = cfg.quick ? 5 : 9;
+  double sink = 0;
+
+  // Warmup: populate allocator caches and the standalone-batch baselines'
+  // code paths once per mode before timing.
+  obs::SetEnabled(true);
+  RunOnce(&db, queries, cfg, &sink);
+  obs::SetEnabled(false);
+  RunOnce(&db, queries, cfg, &sink);
+
+  std::vector<double> on_secs, off_secs;
+  for (int rep = 0; rep < kReps; ++rep) {
+    obs::SetEnabled(true);
+    on_secs.push_back(RunOnce(&db, queries, cfg, &sink));
+    obs::SetEnabled(false);
+    off_secs.push_back(RunOnce(&db, queries, cfg, &sink));
+  }
+  obs::SetEnabled(true);
+
+  double min_on = *std::min_element(on_secs.begin(), on_secs.end());
+  double min_off = *std::min_element(off_secs.begin(), off_secs.end());
+  double max_off = *std::max_element(off_secs.begin(), off_secs.end());
+  double ratio = min_off > 0 ? min_on / min_off : 1.0;
+  // Two noise guards, since a shared CI runner jitters far more than the
+  // instrumentation costs: an absolute floor for micro-runs, and the
+  // disabled mode's own run-to-run spread — a delta indistinguishable from
+  // how much the uninstrumented runs disagree with each other is not
+  // evidence of overhead.
+  const double kMaxRatio = 1.03;
+  const double kAbsFloorSeconds = 0.010;
+  double noise = std::max(kAbsFloorSeconds, max_off - min_off);
+  bool pass = ratio <= kMaxRatio || (min_on - min_off) <= noise;
+
+  TextTable t({"mode", "min_seconds", "max_seconds"});
+  t.AddRow({"obs enabled", TextTable::Num(min_on, 4),
+            TextTable::Num(*std::max_element(on_secs.begin(), on_secs.end()),
+                           4)});
+  t.AddRow({"obs disabled", TextTable::Num(min_off, 4),
+            TextTable::Num(max_off, 4)});
+  t.Print();
+  std::printf("\noverhead ratio %.4f (limit %.2f, noise floor %.4fs): %s\n",
+              ratio, kMaxRatio, noise, pass ? "PASS" : "FAIL");
+  std::printf("(checksum %.1f)\n", sink);
+
+  int json_rc = FinishBench(cfg, "bench_obs_overhead", {});
+  return (pass && json_rc == 0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

@@ -152,7 +152,8 @@ int Main(int argc, char** argv) {
   std::printf("\nreproducible=%s  lower_max_miss=%s  work_within_1.25x=%s\n",
               reproducible ? "yes" : "NO", lower_miss ? "yes" : "NO",
               bounded_work ? "yes" : "NO");
-  return (reproducible && lower_miss && bounded_work) ? 0 : 1;
+  int json_rc = FinishBench(cfg, "bench_robustness", {});
+  return (reproducible && lower_miss && bounded_work && json_rc == 0) ? 0 : 1;
 }
 
 }  // namespace

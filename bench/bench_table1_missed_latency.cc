@@ -57,7 +57,10 @@ int Main(int argc, char** argv) {
   PrintMissedLatencyTable(
       "Table 1 — Uniform (22-query and 10-query workloads)",
       MergeByApproach(uniform_runs, StandardApproaches()));
-  return 0;
+
+  std::vector<ExperimentResult> all = std::move(random_runs);
+  all.insert(all.end(), uniform_runs.begin(), uniform_runs.end());
+  return FinishBench(cfg, "bench_table1_missed_latency", all);
 }
 
 }  // namespace

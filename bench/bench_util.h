@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ishare/harness/experiment.h"
+#include "ishare/harness/json_export.h"
 #include "ishare/harness/report.h"
 #include "ishare/workload/tpch_queries.h"
 
@@ -18,11 +19,13 @@ namespace ishare {
 //   --max_pace=<int>     J, the pace cap (default 50; paper uses 100)
 //   --seed=<int>         data generator seed
 //   --quick              shrink everything for a fast smoke run
+//   --json=<path>        also write the structured export (json_export.h)
 struct BenchConfig {
   double sf = 0.01;
   int max_pace = 50;
   uint64_t seed = 7;
   bool quick = false;
+  std::string json_path;
 
   static BenchConfig Parse(int argc, char** argv) {
     BenchConfig c;
@@ -36,6 +39,8 @@ struct BenchConfig {
         c.seed = std::strtoull(a + 7, nullptr, 10);
       } else if (std::strcmp(a, "--quick") == 0) {
         c.quick = true;
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        c.json_path = a + 7;
       } else {
         std::fprintf(stderr, "unknown flag %s\n", a);
       }
@@ -111,6 +116,35 @@ inline std::vector<ExperimentResult> RunUniformSweep(
   }
   t.Print();
   return all;
+}
+
+// Standard bench epilogue: writes the structured JSON export when the
+// bench was invoked with --json=<path>. `results` are every experiment
+// run the bench performed, in run order; the export also snapshots the
+// global metrics registry and span aggregates accumulated over the whole
+// process. Returns the bench's exit code (non-zero when the export was
+// requested but could not be written).
+inline int FinishBench(const BenchConfig& cfg, const std::string& bench_name,
+                       const std::vector<ExperimentResult>& results) {
+  if (cfg.json_path.empty()) return 0;
+  BenchRunInfo info;
+  info.bench = bench_name;
+  info.sf = cfg.sf;
+  info.max_pace = cfg.max_pace;
+  info.seed = cfg.seed;
+  info.quick = cfg.quick;
+  std::string doc = BenchReportJson(info, results);
+  if (doc.empty()) {
+    std::fprintf(stderr, "json export failed: malformed document\n");
+    return 1;
+  }
+  Status st = WriteBenchJson(cfg.json_path, doc);
+  if (!st.ok()) {
+    std::fprintf(stderr, "json export failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("# json export written to %s\n", cfg.json_path.c_str());
+  return 0;
 }
 
 // Merges per-approach results (across constraint levels) for Table 1-style

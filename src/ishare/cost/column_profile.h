@@ -1,3 +1,9 @@
+// Column-statistics propagation for the cost model: the per-column NDV /
+// min / max profile that flows bottom-up through a plan during estimation
+// (feeding selectivity and group-count estimates), plus Cardenas' formula
+// for expected distinct values touched — the group-churn driver behind the
+// aggregate cost model (DESIGN.md "Cost model notes").
+
 #ifndef ISHARE_COST_COLUMN_PROFILE_H_
 #define ISHARE_COST_COLUMN_PROFILE_H_
 

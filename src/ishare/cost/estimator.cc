@@ -5,6 +5,7 @@
 #include <set>
 
 #include "ishare/common/hash.h"
+#include "ishare/obs/obs.h"
 
 namespace ishare {
 
@@ -26,6 +27,9 @@ CostEstimator::CostEstimator(const SubplanGraph* graph, const Catalog* catalog,
                              ExecOptions opts, bool use_memo)
     : graph_(graph), catalog_(catalog), opts_(opts), use_memo_(use_memo) {
   CHECK(graph != nullptr && catalog != nullptr);
+  hit_counter_ = &obs::Registry().GetCounter("cost.memo.hit");
+  miss_counter_ = &obs::Registry().GetCounter("cost.memo.miss");
+  estimate_counter_ = &obs::Registry().GetCounter("cost.estimate.calls");
   int n = graph->num_subplans();
   memo_.resize(n);
   closure_.resize(n);
@@ -92,8 +96,20 @@ const SimResult& CostEstimator::SubplanResult(int subplan,
   return Compute(subplan, paces);
 }
 
+void CostEstimator::FlushObsCounters() {
+  if (hits_ > flushed_hits_) {
+    hit_counter_->Add(static_cast<double>(hits_ - flushed_hits_));
+    flushed_hits_ = hits_;
+  }
+  if (misses_ > flushed_misses_) {
+    miss_counter_->Add(static_cast<double>(misses_ - flushed_misses_));
+    flushed_misses_ = misses_;
+  }
+}
+
 PlanCost CostEstimator::Estimate(const PaceConfig& paces) {
   CHECK_EQ(static_cast<int>(paces.size()), graph_->num_subplans());
+  estimate_counter_->Add(1);
   PlanCost cost;
   cost.query_final_work.assign(graph_->num_queries(), 0.0);
   std::vector<const SimResult*> results(graph_->num_subplans());
@@ -129,6 +145,7 @@ PlanCost CostEstimator::Estimate(const PaceConfig& paces) {
         cost.query_final_work[q] += store[i].private_final_work;
       }
     }
+    FlushObsCounters();
     return cost;
   }
   for (int i = 0; i < graph_->num_subplans(); ++i) {
@@ -137,6 +154,7 @@ PlanCost CostEstimator::Estimate(const PaceConfig& paces) {
       cost.query_final_work[q] += results[i]->private_final_work;
     }
   }
+  FlushObsCounters();
   return cost;
 }
 

@@ -1,3 +1,10 @@
+// Memoized whole-plan cost estimation — the paper's Algorithm 1. Costs
+// are in OpWork units (exec/metrics.h): C_T(P) is total work over the
+// window, C_F(P, q) the final-execution work of query q. The memo key is
+// each subplan's *private pace configuration* (its own + descendants'
+// paces, Sec. 3.2), which is what makes the greedy pace search tractable
+// (Fig. 15). Hit/miss rates feed the cost.memo.* observability counters.
+
 #ifndef ISHARE_COST_ESTIMATOR_H_
 #define ISHARE_COST_ESTIMATOR_H_
 
@@ -6,6 +13,7 @@
 
 #include "ishare/cost/simulator.h"
 #include "ishare/exec/pace_executor.h"
+#include "ishare/obs/obs.h"
 
 namespace ishare {
 
@@ -57,6 +65,16 @@ class CostEstimator {
   SimResult scratch_;  // storage when memoization is disabled
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  // Observability handles (cost.memo.*, cost.estimate.calls), resolved once
+  // at construction. The memo fast path must stay free of atomic traffic
+  // (millions of hits per greedy search), so hit/miss counts are batched in
+  // the plain int64 tallies above and flushed as deltas per Estimate().
+  void FlushObsCounters();
+  obs::Counter* hit_counter_ = nullptr;
+  obs::Counter* miss_counter_ = nullptr;
+  obs::Counter* estimate_counter_ = nullptr;
+  int64_t flushed_hits_ = 0;
+  int64_t flushed_misses_ = 0;
 };
 
 // Estimated cost of running one query standalone in a single batch; the

@@ -1,3 +1,9 @@
+// Predicate selectivity estimation for the cost model (System-R-style
+// rules over ColumnProfile statistics). Deliberately heuristic: the paper
+// treats cost-model inaccuracy as a given and compensates with constraint
+// calibration for recurring queries (Sec. 2.1) and, in this repo, the
+// adaptive runtime's drift correction.
+
 #ifndef ISHARE_COST_SELECTIVITY_H_
 #define ISHARE_COST_SELECTIVITY_H_
 

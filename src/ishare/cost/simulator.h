@@ -1,3 +1,11 @@
+// Analytic per-subplan simulation — the inner loop of the cost estimator
+// (paper Sec. 3.2, Fig. 4). Simulates k incremental executions of one
+// subplan under the memoization-friendly pace redefinition (each execution
+// processes 1/k of the subplan's own total input), producing private
+// total/final work in OpWork units plus the output cardinalities that
+// become the parents' inputs. CostEstimator (estimator.h) memoizes these
+// results keyed by private pace configuration (Algorithm 1).
+
 #ifndef ISHARE_COST_SIMULATOR_H_
 #define ISHARE_COST_SIMULATOR_H_
 

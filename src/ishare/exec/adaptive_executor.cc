@@ -6,6 +6,7 @@
 #include <set>
 
 #include "ishare/common/fraction.h"
+#include "ishare/obs/obs.h"
 
 namespace ishare {
 
@@ -76,6 +77,7 @@ void AdaptiveExecutor::RecomputePredictions() {
 Result<AdaptiveRunResult> AdaptiveExecutor::Run(
     const PaceConfig& initial_paces) {
   ISHARE_RETURN_NOT_OK(ValidatePaceConfig(*graph_, initial_paces));
+  obs::ScopedSpan run_span("exec.adaptive.run");
   int n = graph_->num_subplans();
   paces_ = initial_paces;
   corrected_ratio_ = 1.0;
@@ -144,6 +146,7 @@ Result<AdaptiveRunResult> AdaptiveExecutor::Run(
       }
       if (skip) {
         ++out.stats.skipped_execs;
+        obs::Registry().GetCounter("exec.adaptive.skip").Add(1);
         continue;
       }
       if (!scheduled && !catchup) continue;
@@ -165,6 +168,7 @@ Result<AdaptiveRunResult> AdaptiveExecutor::Run(
       observed_total += rec.work;
       if (catchup) {
         ++out.stats.catchup_execs;
+        obs::Registry().GetCounter("exec.adaptive.catchup").Add(1);
       } else {
         double pred = is_trigger ? pred_final_[s] : pred_nonfinal_[s];
         if (pred > kEps) {
@@ -187,6 +191,8 @@ Result<AdaptiveRunResult> AdaptiveExecutor::Run(
         policy_.drift_threshold;
     if (!is_trigger && policy_.enable_rederive && drifted &&
         out.stats.rederivations < policy_.max_rederivations) {
+      obs::ScopedSpan rederive_span("exec.adaptive.rederive");
+      obs::Registry().GetCounter("exec.adaptive.rederive").Add(1);
       auto t0 = std::chrono::steady_clock::now();
       std::vector<double> scaled(constraints_.size());
       for (size_t q = 0; q < constraints_.size(); ++q) {
@@ -211,6 +217,8 @@ Result<AdaptiveRunResult> AdaptiveExecutor::Run(
     RecomputePredictions();
   }
 
+  obs::Registry().GetGauge("exec.adaptive.drift_ratio").Set(
+      out.stats.drift_ratio);
   out.run.query_final_work.assign(graph_->num_queries(), 0.0);
   out.run.query_latency_seconds.assign(graph_->num_queries(), 0.0);
   for (QueryId q = 0; q < graph_->num_queries(); ++q) {

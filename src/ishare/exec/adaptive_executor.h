@@ -1,3 +1,11 @@
+// Adaptive pace-schedule executor (DESIGN.md §6): keeps the paper's
+// final-work goals when observed work drifts from the cost estimator's
+// predictions or the stream arrives non-ideally. Extends PaceExecutor's
+// semantics with mid-window pace re-derivation, graceful degradation under
+// overload, and catch-up executions after bursts — all deterministic given
+// the observed stream. Instrumented with obs spans/counters under
+// exec.adaptive.* (DESIGN.md §7).
+
 #ifndef ISHARE_EXEC_ADAPTIVE_EXECUTOR_H_
 #define ISHARE_EXEC_ADAPTIVE_EXECUTOR_H_
 

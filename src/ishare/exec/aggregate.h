@@ -1,3 +1,8 @@
+// Shared incremental group-by aggregate — the blocking operator whose
+// delete+insert churn under eager paces motivates the paper (Fig. 1), and
+// whose MIN/MAX delete-rescan reproduces the non-incrementability of
+// TPC-H Q15 (Sec. 5.3).
+
 #ifndef ISHARE_EXEC_AGGREGATE_H_
 #define ISHARE_EXEC_AGGREGATE_H_
 

@@ -1,3 +1,9 @@
+// Symmetric incremental hash join (inner/semi/anti) with per-query
+// multiplicity state — the join side of shared incremental execution
+// (paper Sec. 2.3). Join state growth across incremental executions is
+// what makes eager paces expensive on join-heavy subplans; the cost
+// model's analytic twin lives in cost/simulator.h.
+
 #ifndef ISHARE_EXEC_HASH_JOIN_H_
 #define ISHARE_EXEC_HASH_JOIN_H_
 

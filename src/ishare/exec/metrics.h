@@ -1,3 +1,9 @@
+// The work unit shared by the runtime and the cost model. Everything the
+// paper calls "work" — total work, final work, latency constraints — is
+// measured in these units (Sec. 2.1: tuples processed by all operators,
+// plus materialization and per-execution startup), so estimates and
+// measurements are directly comparable.
+
 #ifndef ISHARE_EXEC_METRICS_H_
 #define ISHARE_EXEC_METRICS_H_
 

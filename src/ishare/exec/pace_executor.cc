@@ -4,6 +4,7 @@
 #include <set>
 
 #include "ishare/common/fraction.h"
+#include "ishare/obs/obs.h"
 
 namespace ishare {
 
@@ -42,6 +43,7 @@ PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
 
 Result<RunResult> PaceExecutor::Run(const PaceConfig& paces) {
   ISHARE_RETURN_NOT_OK(ValidatePaceConfig(*graph_, paces));
+  obs::ScopedSpan span("exec.window.run");
   int n = graph_->num_subplans();
 
   // Event points: every i/p_s for every subplan s.

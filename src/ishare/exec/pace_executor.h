@@ -1,3 +1,10 @@
+// Pace-driven execution of a shared plan over one trigger window (paper
+// Sec. 2.2, Fig. 3). A subplan with pace k executes at global data
+// fractions i/k; at equal fractions children run before parents, and a
+// parent's pace never exceeds its child's. Reports the paper's headline
+// quantities: total work (all executions, OpWork units), and per-query
+// final work / latency (the executions at the trigger point).
+
 #ifndef ISHARE_EXEC_PACE_EXECUTOR_H_
 #define ISHARE_EXEC_PACE_EXECUTOR_H_
 

@@ -1,3 +1,9 @@
+// Physical operator interface for shared incremental execution (paper
+// Sec. 2.3): operators process delta batches tagged with per-tuple query
+// bitvectors and signed multiplicities, and meter their own OpWork. Scan,
+// marking select (σ*), and project live here; stateful operators are in
+// hash_join.h and aggregate.h.
+
 #ifndef ISHARE_EXEC_PHYS_OP_H_
 #define ISHARE_EXEC_PHYS_OP_H_
 

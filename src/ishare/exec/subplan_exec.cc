@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "ishare/obs/obs.h"
+
 namespace ishare {
 
 SubplanExecutor::SubplanExecutor(
@@ -12,6 +14,17 @@ SubplanExecutor::SubplanExecutor(
   CHECK(sp.root != nullptr);
   CHECK(output != nullptr);
   root_ = BuildTree(sp.root);
+  // Handles resolved once here so RunExecution() pays only atomic adds.
+  // The per-instance series is keyed by the output buffer's name
+  // ("subplan_<i>"), giving the per-subplan work counters of the JSON
+  // export; instances recur across runs of the same graph and accumulate.
+  obs::MetricsRegistry& reg = obs::Registry();
+  exec_counter_ = &reg.GetCounter("exec.subplan.executions");
+  work_counter_ = &reg.GetCounter("exec.subplan.work");
+  tuples_in_counter_ = &reg.GetCounter("exec.subplan.tuples_in");
+  tuples_out_counter_ = &reg.GetCounter("exec.subplan.tuples_out");
+  subplan_work_counter_ =
+      &reg.GetCounter("exec.subplan.work#" + output->name());
 }
 
 SubplanExecutor::OpNode SubplanExecutor::BuildTree(const PlanNodePtr& node) {
@@ -119,6 +132,12 @@ Result<ExecRecord> SubplanExecutor::RunExecution() {
   rec.tuples_in = tuples_in;
   rec.tuples_out = static_cast<int64_t>(out.size());
   last_total_work_ = total;
+  exec_counter_->Add(1);
+  work_counter_->Add(rec.work);
+  tuples_in_counter_->Add(static_cast<double>(rec.tuples_in));
+  tuples_out_counter_->Add(static_cast<double>(rec.tuples_out));
+  subplan_work_counter_->Add(rec.work);
+  obs::GlobalTracer().Record("exec.subplan.exec", rec.seconds);
   return rec;
 }
 

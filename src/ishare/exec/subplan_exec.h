@@ -1,3 +1,10 @@
+// Single-subplan incremental execution (paper Sec. 2.2–2.3). One
+// SubplanExecutor owns the physical operator tree of one subplan, drains
+// newly arrived deltas from its leaf buffers per execution, and appends
+// results to the subplan's output buffer. Work is metered in the paper's
+// cost-model units (see exec/metrics.h for the OpWork unit contract);
+// every execution also feeds the exec.subplan.* observability series.
+
 #ifndef ISHARE_EXEC_SUBPLAN_EXEC_H_
 #define ISHARE_EXEC_SUBPLAN_EXEC_H_
 
@@ -7,6 +14,7 @@
 #include "ishare/common/status.h"
 #include "ishare/exec/metrics.h"
 #include "ishare/exec/phys_op.h"
+#include "ishare/obs/obs.h"
 #include "ishare/plan/subplan_graph.h"
 #include "ishare/storage/delta_buffer.h"
 #include "ishare/storage/stream_source.h"
@@ -84,6 +92,12 @@ class SubplanExecutor {
   int64_t executions_ = 0;
   int64_t last_input_consumed_ = 0;
   double last_total_work_ = 0;
+  // Observability handles (resolved once at construction; see DESIGN.md §7).
+  obs::Counter* exec_counter_ = nullptr;
+  obs::Counter* work_counter_ = nullptr;
+  obs::Counter* tuples_in_counter_ = nullptr;
+  obs::Counter* tuples_out_counter_ = nullptr;
+  obs::Counter* subplan_work_counter_ = nullptr;
 };
 
 }  // namespace ishare

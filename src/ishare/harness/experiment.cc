@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ishare/exec/pace_executor.h"
+#include "ishare/obs/obs.h"
 
 namespace ishare {
 
@@ -147,11 +148,24 @@ ExperimentResult Experiment::BuildResult(Approach approach,
     m.missed_rel =
         m.final_work_goal > 0 ? missed_work / m.final_work_goal : 0.0;
     m.deadline_met = missed_work <= 0;
+    // Per-query latency distributions, one series per query so the JSON
+    // export carries p50/p95/p99 per query across repeated runs.
+    obs::Registry()
+        .GetHistogram("harness.query.latency_seconds#" + q.name)
+        .Observe(m.latency_seconds);
+    obs::Registry()
+        .GetHistogram("harness.query.missed_seconds#" + q.name)
+        .Observe(m.missed_abs);
+    obs::Registry()
+        .GetHistogram("harness.query.missed_rel",
+                      obs::Histogram::RatioBounds())
+        .Observe(m.missed_rel);
   }
   return res;
 }
 
 OptimizedPlan Experiment::Optimize(Approach approach) {
+  obs::ScopedSpan span("harness.experiment.optimize");
   BatchLatencies();  // ensure measured batch baselines exist
   std::vector<double> rel_for_opt = rel_;
   if (calibrate_constraints_) {
@@ -168,6 +182,7 @@ OptimizedPlan Experiment::Optimize(Approach approach) {
 }
 
 ExperimentResult Experiment::Run(Approach approach) {
+  obs::ScopedSpan span("harness.experiment.run");
   OptimizedPlan plan = Optimize(approach);
   StreamSource* src = RunSource();
   src->Reset();
@@ -178,6 +193,7 @@ ExperimentResult Experiment::Run(Approach approach) {
 
 ExperimentResult Experiment::RunAdaptive(Approach approach,
                                          AdaptivePolicy policy) {
+  obs::ScopedSpan span("harness.experiment.run");
   OptimizedPlan plan = Optimize(approach);
   StreamSource* src = RunSource();
   src->Reset();

@@ -1,3 +1,10 @@
+// Experiment harness: optimize-with-approach-X → execute → measure. The
+// glue every bench is built on, producing the paper's Table 1/2/3 and
+// Fig. 9–17 quantities (total work, per-query final work and missed
+// latency against goals derived from measured batch runs). Feeds per-query
+// latency/miss histograms and experiment spans into the obs layer
+// (DESIGN.md §7); BenchReportJson (json_export.h) serializes the results.
+
 #ifndef ISHARE_HARNESS_EXPERIMENT_H_
 #define ISHARE_HARNESS_EXPERIMENT_H_
 

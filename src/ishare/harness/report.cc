@@ -19,6 +19,18 @@ void TextTable::AddRow(std::vector<std::string> row) {
 std::string TextTable::Num(double v, int prec) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  // Normalize negative zero: a tiny negative value (timer jitter around
+  // zero) rounds to "-0.00", which reads as a sign error in the tables.
+  if (buf[0] == '-') {
+    bool all_zero = true;
+    for (const char* q = buf + 1; *q != '\0'; ++q) {
+      if (*q != '0' && *q != '.') {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) return buf + 1;
+  }
   return buf;
 }
 

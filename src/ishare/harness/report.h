@@ -10,6 +10,10 @@ namespace ishare {
 
 // Plain-text aligned table writer for bench output. First row is the
 // header; columns are padded to their widest cell.
+//
+// Cell contents must be ASCII: column widths are computed in bytes, so
+// multi-byte UTF-8 (or terminal escape sequences) would misalign every
+// row after the first non-ASCII cell.
 class TextTable {
  public:
   explicit TextTable(std::vector<std::string> header);
@@ -18,7 +22,9 @@ class TextTable {
   std::string ToString() const;
   void Print() const;
 
-  // Formats a double with `prec` digits after the point.
+  // Formats a double with `prec` digits after the point. Values that
+  // round to zero are rendered without a sign: "-0.00" would read as a
+  // sign error in work/latency tables.
   static std::string Num(double v, int prec = 2);
 
  private:

@@ -1,0 +1,403 @@
+#include "ishare/obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ishare {
+namespace obs {
+
+// --------------------------------------------------------------------------
+// Writer
+
+void JsonWriter::Fail(const std::string& why) {
+  if (error_.empty()) error_ = why;
+}
+
+bool JsonWriter::BeforeValue() {
+  if (!error_.empty()) return false;
+  if (done_) {
+    Fail("value after document end");
+    return false;
+  }
+  if (stack_.empty()) return true;  // root value
+  if (stack_.back() == Frame::kObject) {
+    if (!have_key_) {
+      Fail("object value without a key");
+      return false;
+    }
+    have_key_ = false;
+    return true;
+  }
+  // Array element.
+  if (!first_in_frame_.back()) out_.push_back(',');
+  first_in_frame_.back() = false;
+  return true;
+}
+
+void JsonWriter::BeginObject() {
+  if (!BeforeValue()) return;
+  out_.push_back('{');
+  stack_.push_back(Frame::kObject);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  if (!error_.empty()) return;
+  if (stack_.empty() || stack_.back() != Frame::kObject || have_key_) {
+    Fail("mismatched EndObject");
+    return;
+  }
+  out_.push_back('}');
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  if (!BeforeValue()) return;
+  out_.push_back('[');
+  stack_.push_back(Frame::kArray);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  if (!error_.empty()) return;
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    Fail("mismatched EndArray");
+    return;
+  }
+  out_.push_back(']');
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (stack_.empty()) done_ = true;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void JsonWriter::Key(const std::string& k) {
+  if (!error_.empty()) return;
+  if (stack_.empty() || stack_.back() != Frame::kObject || have_key_) {
+    Fail("Key outside an object");
+    return;
+  }
+  if (!first_in_frame_.back()) out_.push_back(',');
+  first_in_frame_.back() = false;
+  AppendEscaped(&out_, k);
+  out_.push_back(':');
+  have_key_ = true;
+}
+
+void JsonWriter::String(const std::string& v) {
+  if (!BeforeValue()) return;
+  AppendEscaped(&out_, v);
+  if (stack_.empty()) done_ = true;
+}
+
+std::string JsonWriter::FormatDouble(double v) {
+  char buf[64];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, end);
+}
+
+void JsonWriter::Number(double v) {
+  if (!std::isfinite(v)) {
+    Fail("non-finite number rejected (NaN/Inf are not valid JSON)");
+    return;
+  }
+  if (!BeforeValue()) return;
+  out_ += FormatDouble(v);
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Int(int64_t v) {
+  if (!BeforeValue()) return;
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Bool(bool v) {
+  if (!BeforeValue()) return;
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::Null() {
+  if (!BeforeValue()) return;
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+}
+
+std::string JsonWriter::Take() {
+  if (!stack_.empty()) Fail("unclosed object or array");
+  if (!done_) Fail("empty document");
+  if (!error_.empty()) return std::string();
+  return std::move(out_);
+}
+
+// --------------------------------------------------------------------------
+// Parser
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  void Skip() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Fail(const std::string& why) {
+    if (error.empty()) {
+      error = why + " at offset " + std::to_string(p - start);
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (p >= end || *p != '"') return Fail("expected string");
+    ++p;
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p >= end) return Fail("truncated escape");
+      char e = *p++;
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (end - p < 4) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // This writer only emits \u00xx control escapes; decode the
+          // BMP code point as UTF-8 for completeness.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    if (p >= end) return Fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    Skip();
+    if (p >= end) return Fail("unexpected end of input");
+    char c = *p;
+    if (c == '{') {
+      ++p;
+      out->kind = JsonValue::Kind::kObject;
+      Skip();
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        Skip();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        Skip();
+        if (p >= end || *p != ':') return Fail("expected ':'");
+        ++p;
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->obj.emplace_back(std::move(key), std::move(v));
+        Skip();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == '}') {
+          ++p;
+          return true;
+        }
+        return Fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++p;
+      out->kind = JsonValue::Kind::kArray;
+      Skip();
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      while (true) {
+        JsonValue v;
+        if (!ParseValue(&v)) return false;
+        out->arr.push_back(std::move(v));
+        Skip();
+        if (p < end && *p == ',') {
+          ++p;
+          continue;
+        }
+        if (p < end && *p == ']') {
+          ++p;
+          return true;
+        }
+        return Fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (std::strncmp(p, "true", 4) == 0 && end - p >= 4) {
+      out->kind = JsonValue::Kind::kBool;
+      out->b = true;
+      p += 4;
+      return true;
+    }
+    if (std::strncmp(p, "false", 5) == 0 && end - p >= 5) {
+      out->kind = JsonValue::Kind::kBool;
+      out->b = false;
+      p += 5;
+      return true;
+    }
+    if (std::strncmp(p, "null", 4) == 0 && end - p >= 4) {
+      out->kind = JsonValue::Kind::kNull;
+      p += 4;
+      return true;
+    }
+    // Number. strtod alone is too permissive (it accepts "NaN", "inf" and
+    // hex floats, none of which are JSON), so gate on the JSON number
+    // grammar's first character and require a finite decimal result.
+    if (c != '-' && (c < '0' || c > '9')) return Fail("bad value");
+    char* num_end = nullptr;
+    double v = std::strtod(p, &num_end);
+    if (num_end == p || num_end > end) return Fail("bad value");
+    for (const char* q = p; q < num_end; ++q) {
+      if (*q == 'x' || *q == 'X' || *q == 'n' || *q == 'N') {
+        return Fail("bad number");
+      }
+    }
+    if (!std::isfinite(v)) return Fail("non-finite number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->num = v;
+    p = num_end;
+    return true;
+  }
+
+  const char* start;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  Parser ps;
+  ps.p = text.data();
+  ps.start = text.data();
+  ps.end = text.data() + text.size();
+  *out = JsonValue();
+  bool ok = ps.ParseValue(out);
+  if (ok) {
+    ps.Skip();
+    if (ps.p != ps.end) {
+      ok = ps.Fail("trailing content");
+    }
+  }
+  if (!ok && error != nullptr) *error = ps.error;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace ishare

@@ -1,0 +1,88 @@
+// ishare::obs — hand-rolled JSON writer and minimal parser (no external
+// dependencies, DESIGN.md §7).
+//
+// The writer produces the versioned bench-export documents; it emits keys
+// in call order (schema stability is the caller's contract), renders
+// doubles with shortest round-trip formatting (std::to_chars), and
+// rejects NaN/Inf: any non-finite number poisons the writer, ok() turns
+// false and Take() returns an empty string. The parser exists for
+// round-trip tests and tooling; it preserves object key order.
+
+#ifndef ISHARE_OBS_JSON_H_
+#define ISHARE_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ishare {
+namespace obs {
+
+// Streaming JSON builder. Usage:
+//   JsonWriter w;
+//   w.BeginObject(); w.Key("x"); w.Number(1.5); w.EndObject();
+//   std::string doc = w.Take();
+// Misuse (unbalanced Begin/End, Key outside an object, non-finite
+// numbers) sets an error; ok() must be checked before using Take().
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& k);
+  void String(const std::string& v);
+  void Number(double v);  // rejects NaN and +/-Inf
+  void Int(int64_t v);
+  void Bool(bool v);
+  void Null();
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // Final document; empty (and ok() false) if the document is malformed
+  // or any value was rejected.
+  std::string Take();
+
+  // Shortest round-trip decimal rendering of a finite double.
+  static std::string FormatDouble(double v);
+
+ private:
+  enum class Frame : uint8_t { kObject, kArray };
+  void Fail(const std::string& why);
+  // Comma/structure bookkeeping before a value is emitted.
+  bool BeforeValue();
+
+  std::string out_;
+  std::string error_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_in_frame_;
+  bool have_key_ = false;
+  bool done_ = false;
+};
+
+// Parsed JSON value. Objects keep their key order (vector of pairs) so
+// schema-stability tests can assert on it.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  // First member with this key, or nullptr (objects only).
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Strict parser for the subset this repo writes (no comments, no trailing
+// commas; numbers via strtod). Returns false and sets `error` on failure.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace obs
+}  // namespace ishare
+
+#endif  // ISHARE_OBS_JSON_H_

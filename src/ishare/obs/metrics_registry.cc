@@ -1,0 +1,158 @@
+#include "ishare/obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ishare {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+bool Enabled() { return internal::On(); }
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  // Bounds must be finite and strictly increasing; the registry only
+  // constructs histograms from the static helpers or test code, so this is
+  // a programming-error guard, not input validation.
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i] > bounds_[i - 1])) {
+      bounds_.clear();
+      break;
+    }
+  }
+  if (bounds_.empty()) bounds_ = LatencyBounds();
+  counts_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+#if ISHARE_OBS_ENABLED
+  if (!internal::On()) return;
+  if (!std::isfinite(v)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (v < 0) v = 0;
+  size_t b = std::upper_bound(bounds_.begin(), bounds_.end(), v) -
+             bounds_.begin();
+  // Values exactly on a bound land in that bound's bucket.
+  if (b > 0 && v == bounds_[b - 1]) b -= 1;
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAdd(sum_, v);
+#else
+  (void)v;
+#endif
+}
+
+double Histogram::Quantile(double q) const {
+  int64_t total = Count();
+  if (total <= 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  double rank = q * static_cast<double>(total);
+  int64_t cum = 0;
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    int64_t c = counts_[b].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= rank) {
+      double lo = b == 0 ? 0.0 : bounds_[b - 1];
+      // The overflow bucket has no upper bound; report its lower edge.
+      double hi = b < bounds_.size() ? bounds_[b] : lo;
+      double frac = c > 0 ? (rank - static_cast<double>(cum)) /
+                                static_cast<double>(c)
+                          : 0.0;
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cum += c;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::vector<double> Histogram::ExpBounds(double lo, double factor, int n) {
+  std::vector<double> b;
+  b.reserve(static_cast<size_t>(std::max(0, n)));
+  double v = lo;
+  for (int i = 0; i < n; ++i) {
+    b.push_back(v);
+    v *= factor;
+  }
+  return b;
+}
+
+const std::vector<double>& Histogram::LatencyBounds() {
+  // 1 µs .. ~67 s in powers of two (27 buckets + overflow).
+  static const std::vector<double> kBounds = ExpBounds(1e-6, 2.0, 27);
+  return kBounds;
+}
+
+const std::vector<double>& Histogram::RatioBounds() {
+  // Relative misses: 0.1% .. ~16x in powers of two (15 buckets + overflow).
+  static const std::vector<double> kBounds = ExpBounds(1e-3, 2.0, 15);
+  return kBounds;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts.resize(h->num_buckets());
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      hs.counts[i] = h->bucket_count(i);
+    }
+    hs.count = h->Count();
+    hs.dropped = h->Dropped();
+    hs.sum = h->Sum();
+    hs.p50 = h->Quantile(0.50);
+    hs.p95 = h->Quantile(0.95);
+    hs.p99 = h->Quantile(0.99);
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& Registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace ishare

@@ -1,0 +1,187 @@
+// ishare::obs — metric primitives and the process-global MetricsRegistry.
+//
+// Counters, gauges and fixed-bucket histograms are the machine-readable
+// backbone of every bench (DESIGN.md §7): per-subplan tuples processed,
+// pace-optimizer search behaviour, and per-query missed-latency tails
+// (the paper's Table 1 / Fig. 9–17 axes) are all recorded here and
+// exported via harness/json_export.h.
+//
+// Contracts:
+//  - Names follow `subsys.object.verb`; per-instance series append a
+//    `#label` suffix (e.g. "exec.subplan.work#subplan_3").
+//  - All mutators are thread-safe (relaxed atomics; registration under a
+//    mutex) so the layer survives a future parallel executor.
+//  - References returned by Get*() stay valid for the process lifetime;
+//    Reset() is test-only and invalidates them.
+//  - With ISHARE_OBS_ENABLED defined to 0 every mutator compiles to an
+//    empty inline body (zero-cost no-op shims, asserted by
+//    bench_obs_overhead); the registry itself still links so export code
+//    works in both configurations.
+
+#ifndef ISHARE_OBS_METRICS_REGISTRY_H_
+#define ISHARE_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef ISHARE_OBS_ENABLED
+#define ISHARE_OBS_ENABLED 1
+#endif
+
+namespace ishare {
+namespace obs {
+
+// Runtime switch (only meaningful when compiled in). Starts true. The
+// overhead bench flips it to compare instrumented vs uninstrumented runs
+// of the same binary.
+bool Enabled();
+void SetEnabled(bool on);
+
+namespace internal {
+
+extern std::atomic<bool> g_enabled;
+
+inline bool On() {
+#if ISHARE_OBS_ENABLED
+  return g_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+inline void AtomicAdd(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+// Monotonically increasing sum. Add() is wait-free up to the CAS retry.
+class Counter {
+ public:
+  void Add(double v = 1.0) {
+#if ISHARE_OBS_ENABLED
+    if (!internal::On()) return;
+    internal::AtomicAdd(v_, v);
+#else
+    (void)v;
+#endif
+  }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Last-write-wins scalar.
+class Gauge {
+ public:
+  void Set(double v) {
+#if ISHARE_OBS_ENABLED
+    if (!internal::On()) return;
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket histogram over non-negative values. `bounds` are the
+// inclusive upper bounds of the first N buckets; one implicit overflow
+// bucket catches everything above the last bound. Non-finite observations
+// are dropped (and counted) rather than poisoning the distribution.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t Dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Linear interpolation inside the bucket containing rank q*Count().
+  // q in [0, 1]; returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  int64_t bucket_count(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  size_t num_buckets() const { return bounds_.size() + 1; }
+
+  // Exponential bucket bounds: lo, lo*factor, ... (n values). The default
+  // latency scale spans 1 µs .. ~67 s in powers of two.
+  static std::vector<double> ExpBounds(double lo, double factor, int n);
+  static const std::vector<double>& LatencyBounds();  // seconds
+  static const std::vector<double>& RatioBounds();    // ~1e-3 .. ~16
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> dropped_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  // bounds.size() + 1 (overflow last)
+  int64_t count = 0;
+  int64_t dropped = 0;
+  double sum = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+// Point-in-time copy of every registered metric, sorted by name (std::map
+// ordering) so exports are byte-stable for a given set of values.
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  // Find-or-create by name. For histograms the bounds are fixed by the
+  // first registration; later callers with different bounds get the
+  // existing instance.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds =
+                              Histogram::LatencyBounds());
+
+  MetricsSnapshot Snapshot() const;
+
+  // Drops every registration. Test-only: outstanding references from
+  // Get*() dangle afterwards, so never call while instrumented code holds
+  // handles.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-global registry all instrumentation writes to.
+MetricsRegistry& Registry();
+
+}  // namespace obs
+}  // namespace ishare
+
+#endif  // ISHARE_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,20 @@
+// ishare::obs — umbrella header for the observability layer (DESIGN.md §7).
+//
+// Instrumented code includes this single header and uses:
+//   obs::Registry().GetCounter("exec.subplan.executions").Add(1);
+//   obs::ScopedSpan span("opt.pace_search.run");
+//   obs::GlobalTracer().Record("exec.subplan.exec", seconds);
+//
+// Compile-time gate: building with -DISHARE_OBS_ENABLED=0 turns every
+// mutator into an inline empty body (zero-cost shims; the `noobs` CMake
+// preset and CI job keep that path building). Runtime gate:
+// obs::SetEnabled(false) stops recording without recompiling — used by
+// bench_obs_overhead to bound the instrumented/uninstrumented delta.
+
+#ifndef ISHARE_OBS_OBS_H_
+#define ISHARE_OBS_OBS_H_
+
+#include "ishare/obs/metrics_registry.h"
+#include "ishare/obs/tracer.h"
+
+#endif  // ISHARE_OBS_OBS_H_

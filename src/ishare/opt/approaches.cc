@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "ishare/obs/obs.h"
+
 namespace ishare {
 
 namespace {
@@ -163,6 +165,11 @@ OptimizedPlan OptimizePlan(Approach a, const std::vector<QueryPlan>& queries,
   }
   out.memo_hits = est.memo_hits();
   out.memo_misses = est.memo_misses();
+  if (out.memo_hits + out.memo_misses > 0) {
+    obs::Registry().GetGauge("cost.memo.hit_rate").Set(
+        static_cast<double>(out.memo_hits) /
+        static_cast<double>(out.memo_hits + out.memo_misses));
+  }
 
   if (a == Approach::kIShare || a == Approach::kIShareBruteForce) {
     DecomposerOptions dopts;

@@ -1,3 +1,11 @@
+// End-to-end optimizer entry point: one call runs any of the six
+// approaches compared in the paper's Sec. 5 (three baselines, iShare with
+// and without unsharing, and the brute-force-split ablation) and returns a
+// pace-annotated shared plan ready for execution. Also converts the
+// paper's relative final-work constraints (Sec. 2.1) into the absolute
+// budgets the pace search operates on. All constraint/work quantities are
+// in OpWork cost units (exec/metrics.h).
+
 #ifndef ISHARE_OPT_APPROACHES_H_
 #define ISHARE_OPT_APPROACHES_H_
 

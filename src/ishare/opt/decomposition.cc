@@ -7,6 +7,8 @@
 #include <limits>
 #include <sstream>
 
+#include "ishare/obs/obs.h"
+
 namespace ishare {
 
 namespace {
@@ -314,6 +316,7 @@ Decomposer::PartitionEval Decomposer::EvaluatePartition(
 
 std::vector<QuerySet> Decomposer::FindSplit(const LocalProblem& prob,
                                             DecomposeStats* stats) {
+  obs::ScopedSpan cluster_span("opt.decompose.cluster");
   if (opts_.brute_force &&
       static_cast<int>(prob.queries.size()) <= opts_.brute_force_max_queries) {
     return FindSplitBruteForce(prob, stats);
@@ -472,6 +475,7 @@ SubplanGraph CutSubplan(const SubplanGraph& g, int s, int prefix_len,
 
 DecomposeResult Decomposer::Optimize(const SubplanGraph& graph,
                                      const PaceConfig& paces) {
+  obs::ScopedSpan opt_span("opt.decompose.run");
   auto start_time = std::chrono::steady_clock::now();
   auto deadline_hit = [&]() {
     if (opts_.deadline_seconds <= 0) return false;
@@ -494,7 +498,10 @@ DecomposeResult Decomposer::Optimize(const SubplanGraph& graph,
     return os.str();
   };
 
+  int rounds_run = 0;
   for (int round = 0; round < opts_.max_rounds; ++round) {
+    obs::ScopedSpan round_span("opt.decompose.round");
+    ++rounds_run;
     bool adopted = false;
     if (deadline_hit()) {
       res.timed_out = true;
@@ -590,6 +597,17 @@ DecomposeResult Decomposer::Optimize(const SubplanGraph& graph,
     }
     if (!adopted) break;
   }
+
+  obs::Registry().GetCounter("opt.decompose.rounds").Add(rounds_run);
+  obs::Registry()
+      .GetCounter("opt.decompose.splits_considered")
+      .Add(res.stats.splits_considered);
+  obs::Registry()
+      .GetCounter("opt.decompose.splits_adopted")
+      .Add(res.stats.splits_adopted);
+  obs::Registry()
+      .GetCounter("opt.decompose.partitions_evaluated")
+      .Add(static_cast<double>(res.stats.partitions_evaluated));
 
   // Re-derive local constraints for the caller? Not needed; return plan.
   res.graph = std::move(*cur_graph);

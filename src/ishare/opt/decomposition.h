@@ -1,3 +1,10 @@
+// Decomposition ("unsharing") of over-shared subplans — paper Sec. 4.
+// Splits a shared subplan into lazier per-query-group clones when the
+// sharing benefit (Eq. 4) is negative: greedy bottom-up clustering of the
+// sharing queries under local final work constraints S(s, q), plan repair
+// (subsume + merge), then a decreasing pace refinement. Each Optimize()
+// call emits opt.decompose.* spans and counters.
+
 #ifndef ISHARE_OPT_DECOMPOSITION_H_
 #define ISHARE_OPT_DECOMPOSITION_H_
 

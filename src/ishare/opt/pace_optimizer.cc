@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "ishare/obs/obs.h"
+
 namespace ishare {
 
 namespace {
@@ -55,6 +57,7 @@ bool PaceOptimizer::ConstraintsMet(const PlanCost& cost) const {
 
 PaceSearchResult PaceOptimizer::FindPaceConfiguration(
     const PaceConfig* warm_start) {
+  obs::ScopedSpan search_span("opt.pace_search.run");
   const SubplanGraph& g = estimator_->graph();
   int n = g.num_subplans();
   PaceSearchResult res;
@@ -84,6 +87,7 @@ PaceSearchResult PaceOptimizer::FindPaceConfiguration(
     }
     if (all_max) break;
 
+    obs::ScopedSpan iter_span("opt.pace_search.iterate");
     int best = -1;
     double best_inc = -1;
     double best_extra = kInf;
@@ -116,11 +120,13 @@ PaceSearchResult PaceOptimizer::FindPaceConfiguration(
     res.paces[best] += 1;
     res.cost = std::move(best_cost);
     ++res.iterations;
+    obs::Registry().GetCounter("opt.pace_search.iterations").Add(1);
   }
   return res;
 }
 
 PaceSearchResult PaceOptimizer::RefineDecreasing(const PaceConfig& initial) {
+  obs::ScopedSpan refine_span("opt.pace_refine.run");
   const SubplanGraph& g = estimator_->graph();
   int n = g.num_subplans();
   CHECK_EQ(static_cast<int>(initial.size()), n);
@@ -165,6 +171,7 @@ PaceSearchResult PaceOptimizer::RefineDecreasing(const PaceConfig& initial) {
     res.paces[best] -= 1;
     res.cost = std::move(best_cost);
     ++res.iterations;
+    obs::Registry().GetCounter("opt.pace_refine.iterations").Add(1);
   }
   return res;
 }

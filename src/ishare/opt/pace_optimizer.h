@@ -1,3 +1,9 @@
+// Greedy pace-configuration search over the shared plan (paper Sec. 3.2).
+// Incrementability (Eq. 2) — missed-final-work reduction (Eq. 1) per unit
+// of extra total work — ranks which subplan's pace to raise next; paces
+// always respect parent <= child. Each search emits opt.pace_search.*
+// spans/counters so reproduction runs can audit convergence behaviour.
+
 #ifndef ISHARE_OPT_PACE_OPTIMIZER_H_
 #define ISHARE_OPT_PACE_OPTIMIZER_H_
 

@@ -109,5 +109,16 @@ TEST(TextTableTest, NumFormatsPrecision) {
   EXPECT_EQ(TextTable::Num(3.0, 0), "3");
 }
 
+TEST(TextTableTest, NumNormalizesNegativeZero) {
+  // Tiny negatives (timer jitter around zero) must not render as "-0.00".
+  EXPECT_EQ(TextTable::Num(-0.004, 2), "0.00");
+  EXPECT_EQ(TextTable::Num(-0.0, 2), "0.00");
+  EXPECT_EQ(TextTable::Num(-1e-12, 4), "0.0000");
+  EXPECT_EQ(TextTable::Num(-0.4, 0), "0");
+  // Real negatives keep their sign.
+  EXPECT_EQ(TextTable::Num(-0.006, 2), "-0.01");
+  EXPECT_EQ(TextTable::Num(-1.5, 2), "-1.50");
+}
+
 }  // namespace
 }  // namespace ishare

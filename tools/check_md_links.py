@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Scope is deliberately narrow so CI needs no network: only inline links
+and images whose target is a relative path are verified against the
+working tree. http(s)/mailto targets and pure #fragment anchors are
+skipped. Exit status is the number of broken links (capped at 1).
+"""
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", "build", "build-asan", "build-noobs", "third_party"}
+
+# Inline [text](target) / ![alt](target); target ends at the first
+# unescaped ')' or whitespace (titles like (file.md "x") are handled).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Fenced code blocks are stripped before link extraction.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files():
+    for dirpath, dirnames, filenames in os.walk(ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def links_in(path):
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main():
+    broken = []
+    for md in markdown_files():
+        for lineno, target in links_in(md):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            # Strip a trailing #section anchor from file targets.
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md), file_part))
+            if not os.path.exists(resolved):
+                rel_md = os.path.relpath(md, ROOT)
+                broken.append(f"{rel_md}:{lineno}: broken link -> {target}")
+    for b in broken:
+        print(b)
+    count = sum(1 for md in markdown_files())
+    print(f"checked {count} markdown files, {len(broken)} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
