@@ -19,10 +19,11 @@ case "$mode" in
   bench)
     cmake --preset default
     cmake --build --preset default -j "$(nproc)" \
-      --target bench_robustness bench_operators bench_obs_overhead
+      --target bench_robustness bench_operators bench_obs_overhead bench_recovery
     ./build/bench/bench_robustness --quick
     ./build/bench/bench_operators --benchmark_filter=ConsumeZeroCopy --benchmark_min_time=0.05
     ./build/bench/bench_obs_overhead --quick
+    ./build/bench/bench_recovery --quick
     ;;
   docs)
     python3 tools/check_md_links.py

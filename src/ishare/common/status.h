@@ -12,6 +12,15 @@ namespace ishare {
 // Error codes used across the library. We follow the RocksDB/Arrow idiom of
 // returning Status objects instead of throwing exceptions across API
 // boundaries.
+//
+// Retry taxonomy (DESIGN.md §8): every code is either *transient* —
+// the operation may succeed if simply retried, nothing about the request
+// was wrong (kUnavailable: an unreachable partition, a mid-failover
+// buffer) — or *permanent* — retrying the identical operation cannot
+// help (malformed requests, missing tables, corrupted checkpoints,
+// logic errors). The recovery layer's retry policy keys off this split:
+// transient errors get bounded exponential backoff, permanent errors
+// propagate immediately and fail only the affected run.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,
@@ -20,7 +29,16 @@ enum class StatusCode {
   kOutOfRange,
   kNotSupported,
   kInternal,
+  // A dependency is temporarily unreachable; retrying may succeed.
+  kUnavailable,
+  // Stored state failed validation (torn write, checksum mismatch).
+  kDataLoss,
 };
+
+// True for codes whose failures are worth retrying (see taxonomy above).
+constexpr bool StatusCodeIsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 // A Status captures the success or failure of an operation. Cheap to copy in
 // the OK case (no allocation), carries a message otherwise.
@@ -49,10 +67,20 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
+
+  // True when the failure is worth retrying (see the taxonomy on
+  // StatusCode). OK statuses are not transient: there is nothing to retry.
+  bool IsTransient() const { return StatusCodeIsTransient(code_); }
 
   // Human-readable rendering, e.g. "InvalidArgument: bad pace".
   std::string ToString() const;

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <set>
 
 #include "ishare/common/fraction.h"
 #include "ishare/obs/obs.h"
@@ -74,149 +73,145 @@ void AdaptiveExecutor::RecomputePredictions() {
   }
 }
 
-Result<AdaptiveRunResult> AdaptiveExecutor::Run(
-    const PaceConfig& initial_paces) {
-  ISHARE_RETURN_NOT_OK(ValidatePaceConfig(*graph_, initial_paces));
-  obs::ScopedSpan run_span("exec.adaptive.run");
+void AdaptiveExecutor::RebuildPoints(const Fraction& after) {
+  ws_.points.clear();
   int n = graph_->num_subplans();
+  for (int s = 0; s < n; ++s) {
+    for (int i = 1; i <= paces_[s]; ++i) {
+      Fraction f = Fraction::Make(i, paces_[s]);
+      if (after < f) ws_.points.insert(f);
+    }
+  }
+  ws_.points.insert(Fraction{1, 1});  // the trigger is never rescheduled away
+}
+
+double AdaptiveExecutor::DriftRatio() const {
+  if (ws_.sched_execs < policy_.min_drift_samples ||
+      ws_.drift_pred <= kEps) {
+    return 1.0;
+  }
+  return ws_.drift_obs / ws_.drift_pred;
+}
+
+Status AdaptiveExecutor::BeginWindow(const PaceConfig& initial_paces) {
+  ISHARE_RETURN_NOT_OK(ValidatePaceConfig(*graph_, initial_paces));
   paces_ = initial_paces;
   corrected_ratio_ = 1.0;
   RecomputePredictions();
+  ws_ = WindowState{};
+  ws_.out.run.subplans.resize(graph_->num_subplans());
+  ws_.out.stats.pace_history.push_back(paces_);
+  RebuildPoints(Fraction{0, 1});
+  ws_.active = true;
+  return Status::OK();
+}
 
-  AdaptiveRunResult out;
-  out.run.subplans.resize(n);
-  out.stats.pace_history.push_back(paces_);
+Status AdaptiveExecutor::StepOnce() {
   std::vector<int> topo = graph_->TopoChildrenFirst();
+  AdaptiveRunResult& out = ws_.out;
 
-  // The schedule is a mutable set of future event points; re-derivation
-  // rebuilds it from the in-flight position.
-  std::set<Fraction> points;
-  auto rebuild_points = [&](const Fraction& after) {
-    points.clear();
-    for (int s = 0; s < n; ++s) {
-      for (int i = 1; i <= paces_[s]; ++i) {
-        Fraction f = Fraction::Make(i, paces_[s]);
-        if (after < f) points.insert(f);
+  Fraction f = *ws_.points.begin();
+  ws_.points.erase(ws_.points.begin());
+  ISHARE_RETURN_NOT_OK(source_->AdvanceToStep(f.num, f.den));
+  bool is_trigger = (f.num == f.den);
+  int64_t step = ws_.step + 1;  // 1-based step being executed
+
+  // Overload: cumulative work has outrun the drift-corrected pro-rata
+  // budget for the window progress so far.
+  double budget =
+      DriftRatio() * pred_total_ * f.ToDouble() * policy_.overload_factor;
+  bool overloaded = policy_.enable_degradation &&
+                    ws_.sched_execs >= policy_.min_drift_samples &&
+                    ws_.observed_total > budget;
+
+  for (int s : topo) {
+    bool scheduled = f.IsStepOf(paces_[s]);
+    bool skip = scheduled && !is_trigger && overloaded && !protective_[s];
+    bool catchup = false;
+    if (!scheduled && !is_trigger && policy_.enable_catchup &&
+        protective_[s] && executors_[s]->executions() > 0) {
+      int64_t baseline =
+          std::max<int64_t>(1, executors_[s]->last_input_consumed());
+      catchup = executors_[s]->PendingInput() >=
+                static_cast<int64_t>(policy_.backlog_factor *
+                                     static_cast<double>(baseline));
+    }
+    if (skip) {
+      ++out.stats.skipped_execs;
+      obs::Registry().GetCounter("exec.adaptive.skip").Add(1);
+      continue;
+    }
+    if (!scheduled && !catchup) continue;
+
+    if (before_subplan_) ISHARE_RETURN_NOT_OK(before_subplan_(step, s));
+    ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
+    SubplanRunStats& st = out.run.subplans[s];
+    st.work_per_exec.push_back(rec.work);
+    st.secs_per_exec.push_back(rec.seconds);
+    st.exec_fraction.push_back(f.ToDouble());
+    st.total_work += rec.work;
+    st.total_seconds += rec.seconds;
+    st.tuples_out += rec.tuples_out;
+    if (is_trigger) {
+      st.final_work = rec.work;
+      st.final_seconds = rec.seconds;
+    }
+    out.run.total_work += rec.work;
+    out.run.total_seconds += rec.seconds;
+    ws_.observed_total += rec.work;
+    if (catchup) {
+      ++out.stats.catchup_execs;
+      obs::Registry().GetCounter("exec.adaptive.catchup").Add(1);
+    } else {
+      double pred = is_trigger ? pred_final_[s] : pred_nonfinal_[s];
+      if (pred > kEps) {
+        ws_.drift_obs += rec.work;
+        ws_.drift_pred += pred;
+        ++ws_.sched_execs;
       }
     }
-    points.insert(Fraction{1, 1});  // the trigger is never rescheduled away
-  };
-  rebuild_points(Fraction{0, 1});
-
-  // Drift accumulators over *scheduled* executions only; catch-up runs
-  // spend real work (counted in observed_total) but are not part of the
-  // prediction baseline.
-  double drift_obs = 0;
-  double drift_pred = 0;
-  int64_t sched_execs = 0;
-  double observed_total = 0;
-
-  auto ratio = [&]() {
-    if (sched_execs < policy_.min_drift_samples || drift_pred <= kEps) {
-      return 1.0;
-    }
-    return drift_obs / drift_pred;
-  };
-
-  while (!points.empty()) {
-    Fraction f = *points.begin();
-    points.erase(points.begin());
-    ISHARE_RETURN_NOT_OK(source_->AdvanceToStep(f.num, f.den));
-    bool is_trigger = (f.num == f.den);
-
-    // Overload: cumulative work has outrun the drift-corrected pro-rata
-    // budget for the window progress so far.
-    double budget =
-        ratio() * pred_total_ * f.ToDouble() * policy_.overload_factor;
-    bool overloaded = policy_.enable_degradation &&
-                      sched_execs >= policy_.min_drift_samples &&
-                      observed_total > budget;
-
-    for (int s : topo) {
-      bool scheduled = f.IsStepOf(paces_[s]);
-      bool skip = scheduled && !is_trigger && overloaded && !protective_[s];
-      bool catchup = false;
-      if (!scheduled && !is_trigger && policy_.enable_catchup &&
-          protective_[s] && executors_[s]->executions() > 0) {
-        int64_t baseline =
-            std::max<int64_t>(1, executors_[s]->last_input_consumed());
-        catchup = executors_[s]->PendingInput() >=
-                  static_cast<int64_t>(policy_.backlog_factor *
-                                       static_cast<double>(baseline));
-      }
-      if (skip) {
-        ++out.stats.skipped_execs;
-        obs::Registry().GetCounter("exec.adaptive.skip").Add(1);
-        continue;
-      }
-      if (!scheduled && !catchup) continue;
-
-      ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
-      SubplanRunStats& st = out.run.subplans[s];
-      st.work_per_exec.push_back(rec.work);
-      st.secs_per_exec.push_back(rec.seconds);
-      st.exec_fraction.push_back(f.ToDouble());
-      st.total_work += rec.work;
-      st.total_seconds += rec.seconds;
-      st.tuples_out += rec.tuples_out;
-      if (is_trigger) {
-        st.final_work = rec.work;
-        st.final_seconds = rec.seconds;
-      }
-      out.run.total_work += rec.work;
-      out.run.total_seconds += rec.seconds;
-      observed_total += rec.work;
-      if (catchup) {
-        ++out.stats.catchup_execs;
-        obs::Registry().GetCounter("exec.adaptive.catchup").Add(1);
-      } else {
-        double pred = is_trigger ? pred_final_[s] : pred_nonfinal_[s];
-        if (pred > kEps) {
-          drift_obs += rec.work;
-          drift_pred += pred;
-          ++sched_execs;
-        }
-      }
-    }
-
-    double r = ratio();
-    out.stats.drift_ratio = r;
-
-    // Mid-window pace re-derivation: when the cost model is off by more
-    // than the threshold relative to the last correction, re-aim the
-    // optimizer at drift-corrected constraints and warm-start it from the
-    // schedule in flight.
-    bool drifted =
-        std::abs(r / std::max(corrected_ratio_, kEps) - 1.0) >
-        policy_.drift_threshold;
-    if (!is_trigger && policy_.enable_rederive && drifted &&
-        out.stats.rederivations < policy_.max_rederivations) {
-      obs::ScopedSpan rederive_span("exec.adaptive.rederive");
-      obs::Registry().GetCounter("exec.adaptive.rederive").Add(1);
-      auto t0 = std::chrono::steady_clock::now();
-      std::vector<double> scaled(constraints_.size());
-      for (size_t q = 0; q < constraints_.size(); ++q) {
-        scaled[q] = constraints_[q] / std::max(r, kEps);
-      }
-      PaceOptimizer optimizer(estimator_, scaled, opt_opts_);
-      PaceSearchResult search =
-          r > corrected_ratio_
-              ? optimizer.FindPaceConfiguration(&paces_)
-              : optimizer.RefineDecreasing(paces_);
-      out.stats.rederive_seconds +=
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
-      ++out.stats.rederivations;
-      corrected_ratio_ = r;
-      if (search.paces != paces_) {
-        paces_ = search.paces;
-        out.stats.pace_history.push_back(paces_);
-        rebuild_points(f);
-      }
-    }
-    RecomputePredictions();
   }
 
+  double r = DriftRatio();
+  out.stats.drift_ratio = r;
+
+  // Mid-window pace re-derivation: when the cost model is off by more
+  // than the threshold relative to the last correction, re-aim the
+  // optimizer at drift-corrected constraints and warm-start it from the
+  // schedule in flight.
+  bool drifted = std::abs(r / std::max(corrected_ratio_, kEps) - 1.0) >
+                 policy_.drift_threshold;
+  if (!is_trigger && policy_.enable_rederive && drifted &&
+      out.stats.rederivations < policy_.max_rederivations) {
+    obs::ScopedSpan rederive_span("exec.adaptive.rederive");
+    obs::Registry().GetCounter("exec.adaptive.rederive").Add(1);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<double> scaled(constraints_.size());
+    for (size_t q = 0; q < constraints_.size(); ++q) {
+      scaled[q] = constraints_[q] / std::max(r, kEps);
+    }
+    PaceOptimizer optimizer(estimator_, scaled, opt_opts_);
+    PaceSearchResult search = r > corrected_ratio_
+                                  ? optimizer.FindPaceConfiguration(&paces_)
+                                  : optimizer.RefineDecreasing(paces_);
+    out.stats.rederive_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ++out.stats.rederivations;
+    corrected_ratio_ = r;
+    if (search.paces != paces_) {
+      paces_ = search.paces;
+      out.stats.pace_history.push_back(paces_);
+      RebuildPoints(f);
+    }
+  }
+  RecomputePredictions();
+  ws_.last_point = f;
+  return Status::OK();
+}
+
+AdaptiveRunResult AdaptiveExecutor::FinishWindow() {
+  AdaptiveRunResult& out = ws_.out;
   obs::Registry().GetGauge("exec.adaptive.drift_ratio").Set(
       out.stats.drift_ratio);
   out.run.query_final_work.assign(graph_->num_queries(), 0.0);
@@ -227,7 +222,168 @@ Result<AdaptiveRunResult> AdaptiveExecutor::Run(
       out.run.query_latency_seconds[q] += out.run.subplans[s].final_seconds;
     }
   }
+  ws_.active = false;
   return out;
+}
+
+Result<AdaptiveRunResult> AdaptiveExecutor::ResumeWindow() {
+  if (!ws_.active) {
+    return Status::InvalidArgument(
+        "no active window: call BeginWindow or Restore first");
+  }
+  obs::ScopedSpan run_span("exec.adaptive.run");
+  while (!ws_.points.empty()) {
+    ISHARE_RETURN_NOT_OK(StepOnce());
+    ++ws_.step;
+    if (after_step_) ISHARE_RETURN_NOT_OK(after_step_(ws_.step));
+  }
+  return FinishWindow();
+}
+
+Result<AdaptiveRunResult> AdaptiveExecutor::Run(
+    const PaceConfig& initial_paces) {
+  ISHARE_RETURN_NOT_OK(BeginWindow(initial_paces));
+  return ResumeWindow();
+}
+
+Status AdaptiveExecutor::SnapshotImpl(recovery::CheckpointWriter* w,
+                                      bool include_timings) const {
+  w->U64(paces_.size());
+  for (int p : paces_) w->I64(p);
+  w->F64(corrected_ratio_);
+  w->I64(ws_.last_point.num);
+  w->I64(ws_.last_point.den);
+  w->U64(ws_.points.size());
+  for (const Fraction& f : ws_.points) {
+    w->I64(f.num);
+    w->I64(f.den);
+  }
+  w->I64(ws_.step);
+  w->F64(ws_.drift_obs);
+  w->F64(ws_.drift_pred);
+  w->I64(ws_.sched_execs);
+  w->F64(ws_.observed_total);
+  const AdaptationStats& st = ws_.out.stats;
+  w->I64(st.rederivations);
+  w->I64(st.skipped_execs);
+  w->I64(st.catchup_execs);
+  w->F64(st.drift_ratio);
+  if (include_timings) w->F64(st.rederive_seconds);
+  w->U64(st.pace_history.size());
+  for (const PaceConfig& pc : st.pace_history) {
+    w->U64(pc.size());
+    for (int p : pc) w->I64(p);
+  }
+  SnapshotRunStats(w, ws_.out.run, include_timings);
+  return SnapshotEngineState(w, *source_, buffers_, executors_);
+}
+
+Status AdaptiveExecutor::Snapshot(recovery::CheckpointWriter* w) const {
+  return SnapshotImpl(w, /*include_timings=*/true);
+}
+
+Status AdaptiveExecutor::Restore(recovery::CheckpointReader* r) {
+  uint64_t np = r->U64();
+  if (np != static_cast<uint64_t>(graph_->num_subplans())) {
+    r->Fail("checkpoint pace table has " + std::to_string(np) +
+            " entries for a graph with " +
+            std::to_string(graph_->num_subplans()) + " subplans");
+    return r->status();
+  }
+  PaceConfig paces(np);
+  for (int& p : paces) p = static_cast<int>(r->I64());
+  if (!r->ok()) return r->status();
+  Status st = ValidatePaceConfig(*graph_, paces);
+  if (!st.ok()) {
+    r->Fail("checkpoint pace table invalid: " + st.ToString());
+    return r->status();
+  }
+  paces_ = paces;
+  corrected_ratio_ = r->F64();
+
+  ws_ = WindowState{};
+  int64_t lp_num = r->I64();
+  int64_t lp_den = r->I64();
+  if (lp_den <= 0 || lp_num < 0 || lp_num > lp_den) {
+    r->Fail("checkpoint window position " + std::to_string(lp_num) + "/" +
+            std::to_string(lp_den) + " invalid");
+    return r->status();
+  }
+  ws_.last_point = Fraction::Make(lp_num, lp_den);
+  uint64_t num_points = r->U64();
+  if (num_points > r->remaining()) {
+    r->Fail("checkpoint event-point count exceeds payload");
+    return r->status();
+  }
+  for (uint64_t i = 0; i < num_points && r->ok(); ++i) {
+    int64_t num = r->I64();
+    int64_t den = r->I64();
+    if (den <= 0 || num < 0 || num > den) {
+      r->Fail("checkpoint event point " + std::to_string(num) + "/" +
+              std::to_string(den) + " invalid");
+      return r->status();
+    }
+    ws_.points.insert(Fraction::Make(num, den));
+  }
+  ws_.step = r->I64();
+  ws_.drift_obs = r->F64();
+  ws_.drift_pred = r->F64();
+  ws_.sched_execs = r->I64();
+  ws_.observed_total = r->F64();
+  AdaptationStats& stats = ws_.out.stats;
+  stats.rederivations = static_cast<int>(r->I64());
+  stats.skipped_execs = r->I64();
+  stats.catchup_execs = r->I64();
+  stats.drift_ratio = r->F64();
+  stats.rederive_seconds = r->F64();
+  uint64_t nh = r->U64();
+  if (nh > r->remaining()) {
+    r->Fail("checkpoint pace-history count exceeds payload");
+    return r->status();
+  }
+  stats.pace_history.clear();
+  for (uint64_t i = 0; i < nh && r->ok(); ++i) {
+    uint64_t len = r->U64();
+    if (len > r->remaining()) {
+      r->Fail("checkpoint pace-history entry exceeds payload");
+      return r->status();
+    }
+    PaceConfig pc(len);
+    for (int& p : pc) p = static_cast<int>(r->I64());
+    stats.pace_history.push_back(std::move(pc));
+  }
+  // Replay the source to the checkpointed event point before restoring
+  // consumer offsets against the regenerated base logs.
+  if (ws_.last_point.num > 0) {
+    ISHARE_RETURN_NOT_OK(
+        source_->AdvanceToStep(ws_.last_point.num, ws_.last_point.den));
+  }
+  ISHARE_RETURN_NOT_OK(RestoreRunStats(r, &ws_.out.run));
+  if (ws_.out.run.subplans.size() !=
+      static_cast<size_t>(graph_->num_subplans())) {
+    r->Fail("checkpoint run stats cover " +
+            std::to_string(ws_.out.run.subplans.size()) +
+            " subplans, graph has " +
+            std::to_string(graph_->num_subplans()));
+    return r->status();
+  }
+  ISHARE_RETURN_NOT_OK(RestoreEngineState(r, *source_, buffers_, executors_));
+  RecomputePredictions();
+  ws_.active = true;
+  return r->status();
+}
+
+std::string AdaptiveExecutor::StateFingerprint() const {
+  recovery::CheckpointWriter w;
+  Status st = SnapshotImpl(&w, /*include_timings=*/false);
+  CHECK(st.ok()) << "fingerprint failed: " << st.ToString();
+  return w.Take();
+}
+
+int64_t AdaptiveExecutor::ReplayBacklog() const {
+  int64_t backlog = 0;
+  for (const auto& ex : executors_) backlog += ex->PendingInput();
+  return backlog;
 }
 
 DeltaBuffer* AdaptiveExecutor::query_output(QueryId q) const {

@@ -5,11 +5,18 @@
 // overload, and catch-up executions after bursts — all deterministic given
 // the observed stream. Instrumented with obs spans/counters under
 // exec.adaptive.* (DESIGN.md §7).
+//
+// Like PaceExecutor, the window is driven stepwise so the recovery layer
+// (DESIGN.md §8) can checkpoint between event points and resume after a
+// crash; every adaptation decision is work-based (never wall-clock), so a
+// restored run replays the exact same skips, catch-ups and re-derivations.
 
 #ifndef ISHARE_EXEC_ADAPTIVE_EXECUTOR_H_
 #define ISHARE_EXEC_ADAPTIVE_EXECUTOR_H_
 
+#include <functional>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "ishare/common/status.h"
@@ -17,6 +24,7 @@
 #include "ishare/exec/pace_executor.h"
 #include "ishare/exec/subplan_exec.h"
 #include "ishare/opt/pace_optimizer.h"
+#include "ishare/recovery/checkpointable.h"
 
 namespace ishare {
 
@@ -81,8 +89,11 @@ struct AdaptiveRunResult {
 // Correctness is invariant under all three: the trigger execution always
 // runs over all remaining input, so materialized results match the batch
 // results — only work and latency change.
-class AdaptiveExecutor {
+class AdaptiveExecutor : public recovery::Checkpointable {
  public:
+  using StepHook = std::function<Status(int64_t step)>;
+  using SubplanHook = std::function<Status(int64_t step, int subplan)>;
+
   // `estimator` supplies the prediction baseline and the re-derivation
   // search space; `abs_constraints` are absolute final-work constraints
   // indexed by query id (same units as the estimator). The stream source
@@ -94,7 +105,35 @@ class AdaptiveExecutor {
                    PaceOptimizerOptions opt_opts = PaceOptimizerOptions());
 
   // Executes the whole trigger window starting from `initial_paces`.
+  // Equivalent to BeginWindow + ResumeWindow.
   Result<AdaptiveRunResult> Run(const PaceConfig& initial_paces);
+
+  // Stepwise spine, mirroring PaceExecutor's.
+  Status BeginWindow(const PaceConfig& initial_paces);
+  Result<AdaptiveRunResult> ResumeWindow();
+
+  bool window_active() const { return ws_.active; }
+  int64_t completed_steps() const { return ws_.step; }
+
+  void set_after_step_hook(StepHook h) { after_step_ = std::move(h); }
+  void set_before_subplan_hook(SubplanHook h) {
+    before_subplan_ = std::move(h);
+  }
+
+  // Checkpointable (DESIGN.md §8): pace table + drift state + remaining
+  // event points + adaptation stats + the execution substrate. Restore
+  // must be called on a freshly constructed executor over the same
+  // estimator/graph and an un-advanced source.
+  Status Snapshot(recovery::CheckpointWriter* w) const override;
+  Status Restore(recovery::CheckpointReader* r) override;
+
+  // Deterministic state digest excluding wall-clock timings (see
+  // PaceExecutor::StateFingerprint).
+  std::string StateFingerprint() const;
+
+  // Leaf deltas already in buffers that the next executions will re-read;
+  // right after Restore this is the recovery replay backlog.
+  int64_t ReplayBacklog() const;
 
   // Output buffer of query q's root subplan (valid after Run()).
   DeltaBuffer* query_output(QueryId q) const;
@@ -106,6 +145,12 @@ class AdaptiveExecutor {
   // Refreshes per-subplan work predictions and per-query risk flags for
   // the current pace configuration and drift estimate.
   void RecomputePredictions();
+  void RebuildPoints(const Fraction& after);
+  double DriftRatio() const;
+  Status StepOnce();
+  AdaptiveRunResult FinishWindow();
+  Status SnapshotImpl(recovery::CheckpointWriter* w,
+                      bool include_timings) const;
 
   const SubplanGraph* graph_;
   StreamSource* source_;
@@ -121,6 +166,23 @@ class AdaptiveExecutor {
   std::vector<double> pred_nonfinal_;  // per-subplan avg intermediate work
   double pred_total_ = 0;              // whole-window work under paces_
   std::vector<bool> protective_;       // subplan serves an at-risk query
+
+  // Window state, all deterministic given the observed stream (the
+  // *_seconds fields are reporting-only and never feed decisions).
+  struct WindowState {
+    AdaptiveRunResult out;
+    std::set<Fraction> points;   // remaining event points
+    Fraction last_point{0, 1};   // last completed point (source position)
+    double drift_obs = 0;        // scheduled-execution observed work
+    double drift_pred = 0;       // matching predicted work
+    int64_t sched_execs = 0;
+    double observed_total = 0;
+    int64_t step = 0;            // completed event points (1-based count)
+    bool active = false;
+  };
+  WindowState ws_;
+  StepHook after_step_;
+  SubplanHook before_subplan_;
 
   std::vector<std::unique_ptr<DeltaBuffer>> buffers_;
   std::vector<std::unique_ptr<SubplanExecutor>> executors_;

@@ -96,7 +96,9 @@ DeltaBatch AggregateOp::Process(int child_idx, DeltaSpan in) {
         UpdateAccum(specs[i], &qs.accums[i], argv[i], t.weight);
       }
     }
-    dirty_.insert(std::move(key));
+    if (dirty_seen_.insert(key).second) {
+      dirty_order_.push_back(std::move(key));
+    }
   }
   return {};  // blocking: output released in EndExecution
 }
@@ -149,7 +151,7 @@ std::optional<Row> AggregateOp::CurrentRow(const GroupState& g, int qpos) {
 DeltaBatch AggregateOp::EndExecution() {
   std::unordered_map<Row, QuerySet, RowHasher> deletes;
   std::unordered_map<Row, QuerySet, RowHasher> inserts;
-  for (const Row& key : dirty_) {
+  for (const Row& key : dirty_order_) {
     auto it = groups_.find(key);
     CHECK(it != groups_.end());
     GroupState& g = it->second;
@@ -171,7 +173,8 @@ DeltaBatch AggregateOp::EndExecution() {
       }
     }
   }
-  dirty_.clear();
+  dirty_order_.clear();
+  dirty_seen_.clear();
   DeltaBatch out;
   out.reserve(deletes.size() + inserts.size());
   // Deletes first so downstream state never sees duplicate inserts.
@@ -184,6 +187,122 @@ DeltaBatch AggregateOp::EndExecution() {
     work_.out += 1;
   }
   return out;
+}
+
+namespace {
+
+std::string EncodeValueKey(const Value& v) {
+  recovery::CheckpointWriter w;
+  recovery::WriteValue(&w, v);
+  return w.Take();
+}
+
+}  // namespace
+
+Status AggregateOp::Snapshot(recovery::CheckpointWriter* w) const {
+  SnapshotWork(w);
+  std::vector<std::pair<std::string, const GroupState*>> sorted;
+  sorted.reserve(groups_.size());
+  for (const auto& [key, g] : groups_) {
+    sorted.emplace_back(recovery::EncodeRowKey(key), &g);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w->U64(sorted.size());
+  for (const auto& [key_bytes, g] : sorted) {
+    w->Str(key_bytes);
+    w->U64(g->per_query.size());
+    for (const QueryState& qs : g->per_query) {
+      w->I64(qs.row_count);
+      w->Bool(qs.emitted);
+      recovery::WriteRow(w, qs.last_emitted);
+      w->U64(qs.accums.size());
+      for (const Accum& a : qs.accums) {
+        w->F64(a.dsum);
+        w->I64(a.isum);
+        w->I64(a.count);
+        std::vector<std::pair<std::string, int64_t>> vals;
+        vals.reserve(a.values.size());
+        for (const auto& [v, cnt] : a.values) {
+          vals.emplace_back(EncodeValueKey(v), cnt);
+        }
+        std::sort(vals.begin(), vals.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+        w->U64(vals.size());
+        for (const auto& [vbytes, cnt] : vals) {
+          w->Str(vbytes);
+          w->I64(cnt);
+        }
+        w->Bool(a.extremum.has_value());
+        if (a.extremum.has_value()) recovery::WriteValue(w, *a.extremum);
+      }
+    }
+  }
+  w->U64(dirty_order_.size());
+  for (const Row& key : dirty_order_) recovery::WriteRow(w, key);
+  return Status::OK();
+}
+
+Status AggregateOp::Restore(recovery::CheckpointReader* r) {
+  RestoreWork(r);
+  groups_.clear();
+  dirty_order_.clear();
+  dirty_seen_.clear();
+  uint64_t num_groups = r->U64();
+  for (uint64_t gi = 0; gi < num_groups && r->ok(); ++gi) {
+    std::string key_bytes = r->Str();
+    recovery::CheckpointReader key_reader(key_bytes);
+    Row key = recovery::ReadRow(&key_reader);
+    if (!key_reader.Finish().ok()) {
+      r->Fail("malformed group key in checkpoint");
+      break;
+    }
+    GroupState& g = groups_[key];
+    g.key = key;
+    uint64_t nq = r->U64();
+    if (nq != query_ids_.size()) {
+      r->Fail("aggregate per-query width mismatch");
+      break;
+    }
+    g.per_query.resize(nq);
+    for (QueryState& qs : g.per_query) {
+      qs.row_count = r->I64();
+      qs.emitted = r->Bool();
+      qs.last_emitted = recovery::ReadRow(r);
+      uint64_t na = r->U64();
+      if (na != node_->aggregates.size()) {
+        r->Fail("aggregate accumulator count mismatch");
+        break;
+      }
+      qs.accums.resize(na);
+      for (Accum& a : qs.accums) {
+        a.dsum = r->F64();
+        a.isum = r->I64();
+        a.count = r->I64();
+        a.values.clear();
+        uint64_t nv = r->U64();
+        for (uint64_t vi = 0; vi < nv && r->ok(); ++vi) {
+          std::string vbytes = r->Str();
+          recovery::CheckpointReader vr(vbytes);
+          Value v = recovery::ReadValue(&vr);
+          if (!vr.Finish().ok()) {
+            r->Fail("malformed accumulator value in checkpoint");
+            break;
+          }
+          a.values[v] = r->I64();
+        }
+        a.extremum.reset();
+        if (r->Bool()) a.extremum = recovery::ReadValue(r);
+      }
+      if (!r->ok()) break;
+    }
+  }
+  uint64_t num_dirty = r->U64();
+  for (uint64_t i = 0; i < num_dirty && r->ok(); ++i) {
+    Row key = recovery::ReadRow(r);
+    if (dirty_seen_.insert(key).second) dirty_order_.push_back(std::move(key));
+  }
+  return r->status();
 }
 
 }  // namespace ishare

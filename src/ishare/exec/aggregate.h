@@ -35,6 +35,14 @@ class AggregateOp : public PhysOp {
   DeltaBatch Process(int child_idx, DeltaSpan in) override;
   DeltaBatch EndExecution() override;
 
+  // Group state is checkpointed with group keys in canonical order so the
+  // snapshot is independent of hash-map bucket history; the dirty set is
+  // kept insertion-ordered (vector + membership set) precisely so
+  // EndExecution's emission order is a function of the input stream, not
+  // of bucket layout — the property bit-exact recovery rests on.
+  Status Snapshot(recovery::CheckpointWriter* w) const override;
+  Status Restore(recovery::CheckpointReader* r) override;
+
   int64_t NumGroups() const { return static_cast<int64_t>(groups_.size()); }
 
  private:
@@ -69,7 +77,13 @@ class AggregateOp : public PhysOp {
   std::vector<bool> has_arg_;
   std::vector<QueryId> query_ids_;  // position -> query id
   std::unordered_map<Row, GroupState, RowHasher> groups_;
-  std::unordered_set<Row, RowHasher> dirty_;
+  // Groups touched since the last EndExecution, in first-touch order.
+  // `dirty_order_` drives emission; `dirty_seen_` is the O(1) membership
+  // guard. An unordered_set alone is not enough: its iteration order
+  // depends on bucket-count history, which a restored operator does not
+  // share with the original.
+  std::vector<Row> dirty_order_;
+  std::unordered_set<Row, RowHasher> dirty_seen_;
 };
 
 }  // namespace ishare

@@ -22,6 +22,109 @@ HashJoinOp::HashJoinOp(const PlanNode* node, const Schema& left_schema,
   }
 }
 
+namespace {
+
+// Serializes a key -> vector<int64_t> map with keys in canonical order.
+template <typename MapT>
+void SnapshotCountMap(recovery::CheckpointWriter* w, const MapT& m) {
+  std::vector<std::pair<std::string, const std::vector<int64_t>*>> sorted;
+  sorted.reserve(m.size());
+  for (const auto& [key, counts] : m) {
+    sorted.emplace_back(recovery::EncodeRowKey(key), &counts);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w->U64(sorted.size());
+  for (const auto& [key_bytes, counts] : sorted) {
+    w->Str(key_bytes);
+    w->U64(counts->size());
+    for (int64_t c : *counts) w->I64(c);
+  }
+}
+
+}  // namespace
+
+Status HashJoinOp::Snapshot(recovery::CheckpointWriter* w) const {
+  SnapshotWork(w);
+  for (const SideState* state : {&left_state_, &right_state_}) {
+    std::vector<std::pair<std::string, const std::vector<Entry>*>> sorted;
+    sorted.reserve(state->size());
+    for (const auto& [key, bucket] : *state) {
+      sorted.emplace_back(recovery::EncodeRowKey(key), &bucket);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w->U64(sorted.size());
+    for (const auto& [key_bytes, bucket] : sorted) {
+      w->Str(key_bytes);
+      w->U64(bucket->size());
+      for (const Entry& e : *bucket) {
+        recovery::WriteRow(w, e.row);
+        w->U64(e.counts.size());
+        for (int64_t c : e.counts) w->I64(c);
+      }
+    }
+  }
+  w->I64(left_entries_);
+  w->I64(right_entries_);
+  SnapshotCountMap(w, right_counts_);
+  return Status::OK();
+}
+
+Status HashJoinOp::Restore(recovery::CheckpointReader* r) {
+  RestoreWork(r);
+  for (SideState* state : {&left_state_, &right_state_}) {
+    state->clear();
+    uint64_t num_keys = r->U64();
+    for (uint64_t k = 0; k < num_keys && r->ok(); ++k) {
+      std::string key_bytes = r->Str();
+      recovery::CheckpointReader key_reader(key_bytes);
+      Row key = recovery::ReadRow(&key_reader);
+      if (!key_reader.Finish().ok()) {
+        r->Fail("malformed join key in checkpoint");
+        break;
+      }
+      uint64_t bucket_size = r->U64();
+      std::vector<Entry>& bucket = (*state)[key];
+      bucket.reserve(bucket_size);
+      for (uint64_t i = 0; i < bucket_size && r->ok(); ++i) {
+        Entry e;
+        e.row = recovery::ReadRow(r);
+        uint64_t nc = r->U64();
+        if (nc != query_ids_.size()) {
+          r->Fail("join entry count width mismatch");
+          break;
+        }
+        e.counts.resize(nc);
+        for (uint64_t c = 0; c < nc; ++c) e.counts[c] = r->I64();
+        bucket.push_back(std::move(e));
+      }
+    }
+  }
+  left_entries_ = r->I64();
+  right_entries_ = r->I64();
+  right_counts_.clear();
+  uint64_t num_rc = r->U64();
+  for (uint64_t k = 0; k < num_rc && r->ok(); ++k) {
+    std::string key_bytes = r->Str();
+    recovery::CheckpointReader key_reader(key_bytes);
+    Row key = recovery::ReadRow(&key_reader);
+    if (!key_reader.Finish().ok()) {
+      r->Fail("malformed right-count key in checkpoint");
+      break;
+    }
+    uint64_t nc = r->U64();
+    if (nc != query_ids_.size()) {
+      r->Fail("right-count width mismatch");
+      break;
+    }
+    std::vector<int64_t> counts(nc);
+    for (uint64_t c = 0; c < nc; ++c) counts[c] = r->I64();
+    right_counts_[key] = std::move(counts);
+  }
+  return r->status();
+}
+
 void HashJoinOp::UpdateState(SideState* state, const Row& key,
                              const DeltaTuple& t, int64_t* entry_counter) {
   std::vector<Entry>& bucket = (*state)[key];

@@ -37,6 +37,13 @@ class HashJoinOp : public PhysOp {
 
   DeltaBatch Process(int child_idx, DeltaSpan in) override;
 
+  // Build-side state is checkpointed with keys in canonical (encoded-byte)
+  // order so the snapshot is independent of hash-map bucket history, while
+  // each per-key bucket keeps its insertion order — probe emission iterates
+  // buckets, so that order is behaviorally visible and must survive.
+  Status Snapshot(recovery::CheckpointWriter* w) const override;
+  Status Restore(recovery::CheckpointReader* r) override;
+
   // Current number of stored rows, for tests and diagnostics.
   int64_t LeftStateSize() const { return left_entries_; }
   int64_t RightStateSize() const { return right_entries_; }

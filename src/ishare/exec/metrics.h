@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "ishare/recovery/retry.h"
+
 namespace ishare {
 
 // Work performed by one physical operator, in the paper's cost-model units
@@ -47,6 +49,11 @@ struct ExecOptions {
   // per-job startup overhead the paper's Spark prototype pays (mitigated
   // but not eliminated by Drizzle-style scheduling [47]).
   double startup_cost = 32.0;
+
+  // Transient storage faults (Status::IsTransient) hit while draining leaf
+  // buffers are retried under this policy with virtual exponential backoff
+  // (DESIGN.md §8); permanent faults propagate on the first attempt.
+  recovery::RetryPolicy retry;
 };
 
 }  // namespace ishare

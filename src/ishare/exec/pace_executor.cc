@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <set>
 
-#include "ishare/common/fraction.h"
 #include "ishare/obs/obs.h"
 
 namespace ishare {
@@ -24,6 +23,129 @@ Status ValidatePaceConfig(const SubplanGraph& graph, const PaceConfig& paces) {
   return Status::OK();
 }
 
+void SnapshotRunStats(recovery::CheckpointWriter* w, const RunResult& r,
+                      bool include_timings) {
+  w->F64(r.total_work);
+  if (include_timings) w->F64(r.total_seconds);
+  w->U64(r.subplans.size());
+  for (const SubplanRunStats& st : r.subplans) {
+    w->U64(st.work_per_exec.size());
+    for (double v : st.work_per_exec) w->F64(v);
+    if (include_timings) {
+      for (double v : st.secs_per_exec) w->F64(v);
+    }
+    for (double v : st.exec_fraction) w->F64(v);
+    w->F64(st.total_work);
+    if (include_timings) w->F64(st.total_seconds);
+    w->F64(st.final_work);
+    if (include_timings) w->F64(st.final_seconds);
+    w->I64(st.tuples_out);
+  }
+  w->U64(r.query_final_work.size());
+  for (double v : r.query_final_work) w->F64(v);
+  if (include_timings) {
+    for (double v : r.query_latency_seconds) w->F64(v);
+  }
+}
+
+Status RestoreRunStats(recovery::CheckpointReader* r, RunResult* out) {
+  out->total_work = r->F64();
+  out->total_seconds = r->F64();
+  uint64_t n = r->U64();
+  if (n > r->remaining()) {
+    r->Fail("run-stats subplan count " + std::to_string(n) +
+            " exceeds payload");
+    return r->status();
+  }
+  out->subplans.assign(n, SubplanRunStats{});
+  for (SubplanRunStats& st : out->subplans) {
+    uint64_t ne = r->U64();
+    if (ne > r->remaining()) {
+      r->Fail("run-stats execution count exceeds payload");
+      return r->status();
+    }
+    st.work_per_exec.resize(ne);
+    st.secs_per_exec.resize(ne);
+    st.exec_fraction.resize(ne);
+    for (double& v : st.work_per_exec) v = r->F64();
+    for (double& v : st.secs_per_exec) v = r->F64();
+    for (double& v : st.exec_fraction) v = r->F64();
+    st.total_work = r->F64();
+    st.total_seconds = r->F64();
+    st.final_work = r->F64();
+    st.final_seconds = r->F64();
+    st.tuples_out = r->I64();
+  }
+  uint64_t nq = r->U64();
+  if (nq > r->remaining()) {
+    r->Fail("run-stats query count exceeds payload");
+    return r->status();
+  }
+  out->query_final_work.resize(nq);
+  out->query_latency_seconds.resize(nq);
+  for (double& v : out->query_final_work) v = r->F64();
+  for (double& v : out->query_latency_seconds) v = r->F64();
+  return r->status();
+}
+
+Status SnapshotEngineState(
+    recovery::CheckpointWriter* w, const StreamSource& source,
+    const std::vector<std::unique_ptr<DeltaBuffer>>& buffers,
+    const std::vector<std::unique_ptr<SubplanExecutor>>& executors) {
+  std::vector<std::string> names = source.TableNames();  // sorted
+  w->U64(names.size());
+  for (const std::string& name : names) {
+    w->Str(name);
+    source.buffer(name)->SnapshotOffsets(w);
+  }
+  w->U64(buffers.size());
+  for (const auto& buf : buffers) {
+    CHECK(buf != nullptr);
+    buf->Snapshot(w);
+  }
+  for (const auto& ex : executors) {
+    CHECK(ex != nullptr);
+    ISHARE_RETURN_NOT_OK(ex->Snapshot(w));
+  }
+  return Status::OK();
+}
+
+Status RestoreEngineState(
+    recovery::CheckpointReader* r, const StreamSource& source,
+    const std::vector<std::unique_ptr<DeltaBuffer>>& buffers,
+    const std::vector<std::unique_ptr<SubplanExecutor>>& executors) {
+  std::vector<std::string> names = source.TableNames();
+  uint64_t num_tables = r->U64();
+  if (num_tables != names.size()) {
+    r->Fail("checkpoint has " + std::to_string(num_tables) +
+            " base tables, source has " + std::to_string(names.size()));
+    return r->status();
+  }
+  for (const std::string& name : names) {
+    std::string stored = r->Str();
+    if (stored != name) {
+      r->Fail("checkpoint base table '" + stored +
+              "' does not match source table '" + name + "'");
+      return r->status();
+    }
+    ISHARE_RETURN_NOT_OK(source.buffer(name)->RestoreOffsets(r));
+  }
+  uint64_t num_buffers = r->U64();
+  if (num_buffers != buffers.size()) {
+    r->Fail("checkpoint has " + std::to_string(num_buffers) +
+            " subplan buffers, executor has " +
+            std::to_string(buffers.size()));
+    return r->status();
+  }
+  for (const auto& buf : buffers) {
+    ISHARE_RETURN_NOT_OK(buf->Restore(r));
+  }
+  for (const auto& ex : executors) {
+    ISHARE_RETURN_NOT_OK(ex->Restore(r));
+  }
+  return r->status();
+}
+
 PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
                            ExecOptions opts)
     : graph_(graph), source_(source), opts_(opts) {
@@ -32,6 +154,9 @@ PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
   buffers_.resize(n);
   executors_.resize(n);
   // Children-first so a parent's SubplanInput consumers find live buffers.
+  // This order is deterministic, which recovery relies on: a freshly
+  // constructed executor registers the same consumer ids on the same
+  // buffers as the one that wrote the checkpoint.
   for (int i : graph->TopoChildrenFirst()) {
     const Subplan& sp = graph->subplan(i);
     buffers_[i] = std::make_unique<DeltaBuffer>(
@@ -39,11 +164,12 @@ PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
     executors_[i] = std::make_unique<SubplanExecutor>(
         sp, source_, buffers_, buffers_[i].get(), opts_);
   }
+  topo_ = graph->TopoChildrenFirst();
 }
 
-Result<RunResult> PaceExecutor::Run(const PaceConfig& paces) {
+Status PaceExecutor::BeginWindow(const PaceConfig& paces) {
   ISHARE_RETURN_NOT_OK(ValidatePaceConfig(*graph_, paces));
-  obs::ScopedSpan span("exec.window.run");
+  paces_ = paces;
   int n = graph_->num_subplans();
 
   // Event points: every i/p_s for every subplan s.
@@ -53,42 +179,138 @@ Result<RunResult> PaceExecutor::Run(const PaceConfig& paces) {
       points.insert(Fraction::Make(i, paces[s]));
     }
   }
+  schedule_.assign(points.begin(), points.end());
 
-  RunResult result;
-  result.subplans.resize(n);
-  std::vector<int> topo = graph_->TopoChildrenFirst();
+  acc_ = RunResult{};
+  acc_.subplans.resize(n);
+  next_step_ = 0;
+  active_ = true;
+  return Status::OK();
+}
 
-  for (const Fraction& f : points) {
-    ISHARE_RETURN_NOT_OK(source_->AdvanceToStep(f.num, f.den));
-    bool is_trigger = (f.num == f.den);
-    for (int s : topo) {
-      if (!f.IsStepOf(paces[s])) continue;
-      ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
-      SubplanRunStats& st = result.subplans[s];
-      st.work_per_exec.push_back(rec.work);
-      st.secs_per_exec.push_back(rec.seconds);
-      st.exec_fraction.push_back(f.ToDouble());
-      st.total_work += rec.work;
-      st.total_seconds += rec.seconds;
-      st.tuples_out += rec.tuples_out;
-      if (is_trigger) {
-        st.final_work = rec.work;
-        st.final_seconds = rec.seconds;
-      }
-      result.total_work += rec.work;
-      result.total_seconds += rec.seconds;
+Status PaceExecutor::StepOnce() {
+  const Fraction& f = schedule_[next_step_];
+  ISHARE_RETURN_NOT_OK(source_->AdvanceToStep(f.num, f.den));
+  bool is_trigger = (f.num == f.den);
+  int64_t step = next_step_ + 1;  // 1-based step being executed
+  for (int s : topo_) {
+    if (!f.IsStepOf(paces_[s])) continue;
+    if (before_subplan_) ISHARE_RETURN_NOT_OK(before_subplan_(step, s));
+    ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
+    SubplanRunStats& st = acc_.subplans[s];
+    st.work_per_exec.push_back(rec.work);
+    st.secs_per_exec.push_back(rec.seconds);
+    st.exec_fraction.push_back(f.ToDouble());
+    st.total_work += rec.work;
+    st.total_seconds += rec.seconds;
+    st.tuples_out += rec.tuples_out;
+    if (is_trigger) {
+      st.final_work = rec.work;
+      st.final_seconds = rec.seconds;
     }
+    acc_.total_work += rec.work;
+    acc_.total_seconds += rec.seconds;
   }
+  return Status::OK();
+}
 
-  result.query_final_work.assign(graph_->num_queries(), 0.0);
-  result.query_latency_seconds.assign(graph_->num_queries(), 0.0);
+RunResult PaceExecutor::FinishWindow() {
+  acc_.query_final_work.assign(graph_->num_queries(), 0.0);
+  acc_.query_latency_seconds.assign(graph_->num_queries(), 0.0);
   for (QueryId q = 0; q < graph_->num_queries(); ++q) {
     for (int s : graph_->SubplansOfQuery(q)) {
-      result.query_final_work[q] += result.subplans[s].final_work;
-      result.query_latency_seconds[q] += result.subplans[s].final_seconds;
+      acc_.query_final_work[q] += acc_.subplans[s].final_work;
+      acc_.query_latency_seconds[q] += acc_.subplans[s].final_seconds;
     }
   }
-  return result;
+  active_ = false;
+  return acc_;
+}
+
+Result<RunResult> PaceExecutor::ResumeWindow() {
+  if (!active_) {
+    return Status::InvalidArgument(
+        "no active window: call BeginWindow or Restore first");
+  }
+  obs::ScopedSpan span("exec.window.run");
+  while (next_step_ < num_steps()) {
+    ISHARE_RETURN_NOT_OK(StepOnce());
+    ++next_step_;
+    if (after_step_) ISHARE_RETURN_NOT_OK(after_step_(next_step_));
+  }
+  return FinishWindow();
+}
+
+Result<RunResult> PaceExecutor::Run(const PaceConfig& paces) {
+  ISHARE_RETURN_NOT_OK(BeginWindow(paces));
+  return ResumeWindow();
+}
+
+Status PaceExecutor::SnapshotImpl(recovery::CheckpointWriter* w,
+                                  bool include_timings) const {
+  w->U64(paces_.size());
+  for (int p : paces_) w->I64(p);
+  w->I64(next_step_);
+  SnapshotRunStats(w, acc_, include_timings);
+  return SnapshotEngineState(w, *source_, buffers_, executors_);
+}
+
+Status PaceExecutor::Snapshot(recovery::CheckpointWriter* w) const {
+  return SnapshotImpl(w, /*include_timings=*/true);
+}
+
+Status PaceExecutor::Restore(recovery::CheckpointReader* r) {
+  uint64_t np = r->U64();
+  if (np != static_cast<uint64_t>(graph_->num_subplans())) {
+    r->Fail("checkpoint pace table has " + std::to_string(np) +
+            " entries for a graph with " +
+            std::to_string(graph_->num_subplans()) + " subplans");
+    return r->status();
+  }
+  PaceConfig paces(np);
+  for (int& p : paces) p = static_cast<int>(r->I64());
+  if (!r->ok()) return r->status();
+  Status st = BeginWindow(paces);
+  if (!st.ok()) {
+    r->Fail("checkpoint pace table invalid: " + st.ToString());
+    return r->status();
+  }
+  next_step_ = r->I64();
+  if (next_step_ < 0 || next_step_ > num_steps()) {
+    r->Fail("checkpoint step " + std::to_string(next_step_) +
+            " outside schedule of " + std::to_string(num_steps()) + " steps");
+    return r->status();
+  }
+  // Replay the source to the checkpointed event point; the released base
+  // logs are a pure function of the fraction (perturbed or not), so they
+  // regenerate bit-identically and only the consumer offsets need state.
+  if (next_step_ > 0) {
+    const Fraction& f = schedule_[next_step_ - 1];
+    ISHARE_RETURN_NOT_OK(source_->AdvanceToStep(f.num, f.den));
+  }
+  ISHARE_RETURN_NOT_OK(RestoreRunStats(r, &acc_));
+  if (acc_.subplans.size() != static_cast<size_t>(graph_->num_subplans())) {
+    r->Fail("checkpoint run stats cover " +
+            std::to_string(acc_.subplans.size()) + " subplans, graph has " +
+            std::to_string(graph_->num_subplans()));
+    return r->status();
+  }
+  ISHARE_RETURN_NOT_OK(RestoreEngineState(r, *source_, buffers_, executors_));
+  active_ = true;
+  return r->status();
+}
+
+std::string PaceExecutor::StateFingerprint() const {
+  recovery::CheckpointWriter w;
+  Status st = SnapshotImpl(&w, /*include_timings=*/false);
+  CHECK(st.ok()) << "fingerprint failed: " << st.ToString();
+  return w.Take();
+}
+
+int64_t PaceExecutor::ReplayBacklog() const {
+  int64_t backlog = 0;
+  for (const auto& ex : executors_) backlog += ex->PendingInput();
+  return backlog;
 }
 
 DeltaBuffer* PaceExecutor::query_output(QueryId q) const {

@@ -4,17 +4,25 @@
 // parent's pace never exceeds its child's. Reports the paper's headline
 // quantities: total work (all executions, OpWork units), and per-query
 // final work / latency (the executions at the trigger point).
+//
+// The window is driven stepwise (BeginWindow / ResumeWindow over an
+// explicit schedule of event points) so the recovery layer (DESIGN.md §8)
+// can checkpoint between steps and resume a torn-down executor from the
+// last committed epoch; Run() is the single-shot convenience wrapper.
 
 #ifndef ISHARE_EXEC_PACE_EXECUTOR_H_
 #define ISHARE_EXEC_PACE_EXECUTOR_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "ishare/common/fraction.h"
 #include "ishare/common/status.h"
 #include "ishare/exec/subplan_exec.h"
 #include "ishare/plan/subplan_graph.h"
+#include "ishare/recovery/checkpointable.h"
 #include "ishare/storage/stream_source.h"
 
 namespace ishare {
@@ -52,11 +60,40 @@ struct RunResult {
   std::vector<double> query_latency_seconds;
 };
 
+// Checkpoint serde for RunResult, shared by the static and adaptive
+// executors. `include_timings = false` skips every wall-clock field and is
+// what StateFingerprint() uses: timings differ run to run by nature and
+// must not break bit-exact equivalence checks. Restore always expects the
+// full (timings included) layout checkpoints are written with.
+void SnapshotRunStats(recovery::CheckpointWriter* w, const RunResult& r,
+                      bool include_timings);
+Status RestoreRunStats(recovery::CheckpointReader* r, RunResult* out);
+
+// Serde for the execution substrate both executors share: base-buffer
+// consumer offsets (keyed by sorted table name; base logs are regenerated
+// by replaying the source to the checkpointed fraction), full subplan
+// output buffers, and every SubplanExecutor's state.
+Status SnapshotEngineState(
+    recovery::CheckpointWriter* w, const StreamSource& source,
+    const std::vector<std::unique_ptr<DeltaBuffer>>& buffers,
+    const std::vector<std::unique_ptr<SubplanExecutor>>& executors);
+Status RestoreEngineState(
+    recovery::CheckpointReader* r, const StreamSource& source,
+    const std::vector<std::unique_ptr<DeltaBuffer>>& buffers,
+    const std::vector<std::unique_ptr<SubplanExecutor>>& executors);
+
 // Drives a SubplanGraph over a simulated trigger window. The executor owns
 // the subplan output buffers; query results remain available in the query
 // roots' buffers after Run().
-class PaceExecutor {
+class PaceExecutor : public recovery::Checkpointable {
  public:
+  // Called after step `step` (1-based count of completed event points)
+  // finishes; a non-OK return aborts the window. The crash/recovery
+  // harness injects kills and checkpoints here.
+  using StepHook = std::function<Status(int64_t step)>;
+  // Called right before subplan `subplan` executes within step `step`.
+  using SubplanHook = std::function<Status(int64_t step, int subplan)>;
+
   // The stream source must be freshly constructed or Reset().
   PaceExecutor(const SubplanGraph* graph, StreamSource* source,
                ExecOptions opts = ExecOptions());
@@ -64,8 +101,41 @@ class PaceExecutor {
   // Executes the whole trigger window under `paces`; paces.size() must
   // equal the number of subplans and every pace must be >= 1. Malformed
   // configurations and runtime storage failures return Status instead of
-  // aborting.
+  // aborting. Equivalent to BeginWindow + ResumeWindow.
   Result<RunResult> Run(const PaceConfig& paces);
+
+  // Validates `paces` and arms the window's event-point schedule without
+  // executing anything.
+  Status BeginWindow(const PaceConfig& paces);
+
+  // Runs every remaining step of the armed window (all of them after
+  // BeginWindow; the tail after Restore) and finalizes per-query totals.
+  Result<RunResult> ResumeWindow();
+
+  bool window_active() const { return active_; }
+  int64_t num_steps() const { return static_cast<int64_t>(schedule_.size()); }
+  int64_t completed_steps() const { return next_step_; }
+
+  void set_after_step_hook(StepHook h) { after_step_ = std::move(h); }
+  void set_before_subplan_hook(SubplanHook h) {
+    before_subplan_ = std::move(h);
+  }
+
+  // Checkpointable: pace table, step counter, accumulated stats, and the
+  // whole execution substrate. Restore must be called on an executor that
+  // was freshly constructed against the same graph and an un-advanced
+  // source; it replays the source to the checkpointed event point.
+  Status Snapshot(recovery::CheckpointWriter* w) const override;
+  Status Restore(recovery::CheckpointReader* r) override;
+
+  // Deterministic digest of the execution state: everything Snapshot
+  // covers except wall-clock timings. Two runs that processed the same
+  // data identically have equal fingerprints, crash or no crash.
+  std::string StateFingerprint() const;
+
+  // Leaf deltas already in buffers that the next executions will re-read;
+  // right after Restore this is the recovery replay backlog.
+  int64_t ReplayBacklog() const;
 
   // Output buffer of query q's root subplan (valid after Run()).
   DeltaBuffer* query_output(QueryId q) const;
@@ -74,11 +144,26 @@ class PaceExecutor {
   }
 
  private:
+  Status StepOnce();
+  RunResult FinishWindow();
+  Status SnapshotImpl(recovery::CheckpointWriter* w,
+                      bool include_timings) const;
+
   const SubplanGraph* graph_;
   StreamSource* source_;
   ExecOptions opts_;
   std::vector<std::unique_ptr<DeltaBuffer>> buffers_;
   std::vector<std::unique_ptr<SubplanExecutor>> executors_;
+
+  // Window state (live between BeginWindow/Restore and FinishWindow).
+  PaceConfig paces_;
+  std::vector<Fraction> schedule_;  // ascending event points, trigger last
+  std::vector<int> topo_;
+  int64_t next_step_ = 0;  // == completed steps; schedule_[next_step_] is next
+  RunResult acc_;
+  bool active_ = false;
+  StepHook after_step_;
+  SubplanHook before_subplan_;
 };
 
 // Sums the weights of buffer tuples valid for query q; the result maps

@@ -10,8 +10,10 @@
 #include <memory>
 #include <vector>
 
+#include "ishare/common/status.h"
 #include "ishare/exec/metrics.h"
 #include "ishare/plan/plan.h"
+#include "ishare/recovery/serializer.h"
 #include "ishare/storage/delta.h"
 
 namespace ishare {
@@ -42,7 +44,32 @@ class PhysOp {
   // Cumulative work performed by this operator since construction.
   const OpWork& work() const { return work_; }
 
+  // Checkpoint hooks (DESIGN.md §8). The default covers stateless
+  // operators, whose only cross-execution state is the work meter;
+  // stateful operators (HashJoinOp, AggregateOp) override and must call
+  // the work helpers too. Restore(Snapshot(op)) must make the operator's
+  // future outputs bit-identical to the original's.
+  virtual Status Snapshot(recovery::CheckpointWriter* w) const {
+    SnapshotWork(w);
+    return Status::OK();
+  }
+  virtual Status Restore(recovery::CheckpointReader* r) {
+    RestoreWork(r);
+    return r->status();
+  }
+
  protected:
+  void SnapshotWork(recovery::CheckpointWriter* w) const {
+    w->F64(work_.in);
+    w->F64(work_.out);
+    w->F64(work_.state);
+  }
+  void RestoreWork(recovery::CheckpointReader* r) {
+    work_.in = r->F64();
+    work_.out = r->F64();
+    work_.state = r->F64();
+  }
+
   const PlanNode* node_;
   OpWork work_;
 };

@@ -60,11 +60,42 @@ SubplanExecutor::OpNode SubplanExecutor::BuildTree(const PlanNodePtr& node) {
   return n;
 }
 
+// Drains the leaf's buffer, retrying transient faults (an unreachable
+// partition mid-failover) with deterministic virtual backoff. Permanent
+// faults fail the run on the first attempt, preserving fail-soft isolation
+// between co-scheduled queries.
+Result<DeltaSpan> SubplanExecutor::ConsumeLeafWithRetry(OpNode& n) {
+  int attempt = 0;
+  double backoff = 0;
+  for (;;) {
+    Result<DeltaSpan> raw = n.input_buffer->ConsumeNew(n.consumer_id);
+    ++attempt;
+    if (raw.ok()) {
+      if (attempt > 1) {
+        obs::MetricsRegistry& reg = obs::Registry();
+        reg.GetCounter("recovery.retry.attempts").Add(attempt - 1);
+        reg.GetCounter("recovery.retry.success").Add(1);
+        reg.GetCounter("recovery.retry.backoff_seconds").Add(backoff);
+      }
+      return raw;
+    }
+    if (!opts_.retry.ShouldRetry(raw.status(), attempt)) {
+      if (raw.status().IsTransient()) {
+        obs::MetricsRegistry& reg = obs::Registry();
+        reg.GetCounter("recovery.retry.attempts").Add(attempt - 1);
+        reg.GetCounter("recovery.retry.exhausted").Add(1);
+        reg.GetCounter("recovery.retry.backoff_seconds").Add(backoff);
+      }
+      return raw;
+    }
+    backoff += opts_.retry.BackoffSeconds(attempt);
+  }
+}
+
 Result<DeltaBatch> SubplanExecutor::Pump(OpNode& n, int64_t* tuples_in) {
   DeltaBatch collected;
   if (n.input_buffer != nullptr) {
-    ISHARE_ASSIGN_OR_RETURN(DeltaSpan raw,
-                            n.input_buffer->ConsumeNew(n.consumer_id));
+    ISHARE_ASSIGN_OR_RETURN(DeltaSpan raw, ConsumeLeafWithRetry(n));
     if (raw.empty()) return DeltaBatch{};
     *tuples_in += static_cast<int64_t>(raw.size());
     return n.op->Process(0, raw);
@@ -102,8 +133,11 @@ std::vector<OpWork> SubplanExecutor::OpWorkBreakdown() const {
 
 void SubplanExecutor::CollectPending(const OpNode& n, int64_t* out) const {
   if (n.input_buffer != nullptr) {
-    int64_t p = n.input_buffer->Pending(n.consumer_id);
-    if (p > 0) *out += p;
+    Result<int64_t> p = n.input_buffer->Pending(n.consumer_id);
+    // Consumer ids were registered by BuildTree, so a failure here would
+    // be a programming error; treat it as "no pending input" rather than
+    // crash a monitoring path.
+    if (p.ok() && *p > 0) *out += *p;
     return;
   }
   for (const OpNode& c : n.children) CollectPending(c, out);
@@ -139,6 +173,36 @@ Result<ExecRecord> SubplanExecutor::RunExecution() {
   subplan_work_counter_->Add(rec.work);
   obs::GlobalTracer().Record("exec.subplan.exec", rec.seconds);
   return rec;
+}
+
+Status SubplanExecutor::SnapshotOps(const OpNode& n,
+                                    recovery::CheckpointWriter* w) const {
+  ISHARE_RETURN_NOT_OK(n.op->Snapshot(w));
+  for (const OpNode& c : n.children) ISHARE_RETURN_NOT_OK(SnapshotOps(c, w));
+  return Status::OK();
+}
+
+Status SubplanExecutor::RestoreOps(OpNode& n, recovery::CheckpointReader* r) {
+  ISHARE_RETURN_NOT_OK(n.op->Restore(r));
+  for (OpNode& c : n.children) ISHARE_RETURN_NOT_OK(RestoreOps(c, r));
+  return Status::OK();
+}
+
+Status SubplanExecutor::Snapshot(recovery::CheckpointWriter* w) const {
+  ISHARE_RETURN_NOT_OK(init_status_);
+  w->I64(executions_);
+  w->I64(last_input_consumed_);
+  w->F64(last_total_work_);
+  return SnapshotOps(root_, w);
+}
+
+Status SubplanExecutor::Restore(recovery::CheckpointReader* r) {
+  ISHARE_RETURN_NOT_OK(init_status_);
+  executions_ = r->I64();
+  last_input_consumed_ = r->I64();
+  last_total_work_ = r->F64();
+  ISHARE_RETURN_NOT_OK(RestoreOps(root_, r));
+  return r->status();
 }
 
 }  // namespace ishare

@@ -68,6 +68,14 @@ class SubplanExecutor {
   // first); the adaptive executor's backlog baseline.
   int64_t last_input_consumed() const { return last_input_consumed_; }
 
+  // Checkpoint hooks (DESIGN.md §8): execution counters plus every
+  // operator's state, preorder over the tree. The consumer registrations
+  // themselves are rebuilt by constructing the executor against the same
+  // plan — BuildTree registers consumers in a deterministic order, so the
+  // ids line up with the buffer offsets restored separately.
+  Status Snapshot(recovery::CheckpointWriter* w) const;
+  Status Restore(recovery::CheckpointReader* r);
+
  private:
   struct OpNode {
     std::unique_ptr<PhysOp> op;
@@ -79,9 +87,12 @@ class SubplanExecutor {
 
   OpNode BuildTree(const PlanNodePtr& node);
   Result<DeltaBatch> Pump(OpNode& n, int64_t* tuples_in);
+  Result<DeltaSpan> ConsumeLeafWithRetry(OpNode& n);
   void CollectWork(const OpNode& n, std::vector<OpWork>* out) const;
   void CollectPending(const OpNode& n, int64_t* out) const;
   double TotalOpWork(const OpNode& n) const;
+  Status SnapshotOps(const OpNode& n, recovery::CheckpointWriter* w) const;
+  Status RestoreOps(OpNode& n, recovery::CheckpointReader* r);
 
   OpNode root_;
   DeltaBuffer* output_;

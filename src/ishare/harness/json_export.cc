@@ -128,6 +128,12 @@ void WriteResult(obs::JsonWriter& w, const ExperimentResult& r) {
   w.EndObject();
 }
 
+double CounterOr0(const obs::MetricsSnapshot& metrics,
+                  const std::string& name) {
+  auto it = metrics.counters.find(name);
+  return it == metrics.counters.end() ? 0.0 : it->second;
+}
+
 }  // namespace
 
 std::string BenchReportJson(
@@ -137,7 +143,8 @@ std::string BenchReportJson(
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("schema_version");
-  w.Int(1);
+  // v2: added the top-level "recovery" block (DESIGN.md §8).
+  w.Int(2);
   w.Key("generator");
   w.String("ishare");
   w.Key("bench");
@@ -159,6 +166,31 @@ std::string BenchReportJson(
   w.BeginArray();
   for (const ExperimentResult& r : results) WriteResult(w, r);
   w.EndArray();
+
+  // Checkpoint/retry activity rollup, from the recovery.* counters. All
+  // zeros for benches that never checkpoint — kept unconditionally so the
+  // schema is stable across benches.
+  w.Key("recovery");
+  w.BeginObject();
+  w.Key("checkpoints");
+  SafeNumber(w, CounterOr0(metrics, "recovery.checkpoint.count"));
+  w.Key("checkpoint_bytes");
+  SafeNumber(w, CounterOr0(metrics, "recovery.checkpoint.bytes"));
+  w.Key("torn_discarded");
+  SafeNumber(w, CounterOr0(metrics, "recovery.checkpoint.torn_discarded"));
+  w.Key("restores");
+  SafeNumber(w, CounterOr0(metrics, "recovery.restore.count"));
+  w.Key("replayed_deltas");
+  SafeNumber(w, CounterOr0(metrics, "recovery.restore.replayed_deltas"));
+  w.Key("retry_attempts");
+  SafeNumber(w, CounterOr0(metrics, "recovery.retry.attempts"));
+  w.Key("retry_success");
+  SafeNumber(w, CounterOr0(metrics, "recovery.retry.success"));
+  w.Key("retry_exhausted");
+  SafeNumber(w, CounterOr0(metrics, "recovery.retry.exhausted"));
+  w.Key("retry_backoff_seconds");
+  SafeNumber(w, CounterOr0(metrics, "recovery.retry.backoff_seconds"));
+  w.EndObject();
 
   w.Key("metrics");
   w.BeginObject();

@@ -4,14 +4,19 @@
 // `--json=<path>` so reproduction runs are machine-checkable instead of
 // text-table-scrape-only.
 //
-// Schema (version 1, stable key order — see the golden file under
-// tests/golden/):
+// Schema (version 2, stable key order — see the golden file under
+// tests/golden/; v2 added the "recovery" block, DESIGN.md §8):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "generator": "ishare",
 //     "bench": "<binary name>",
 //     "config": {"sf": ..., "max_pace": ..., "seed": ..., "quick": ...},
 //     "results": [ { per-ExperimentResult block } ],
+//     "recovery": {"checkpoints": ..., "checkpoint_bytes": ...,
+//                  "torn_discarded": ..., "restores": ...,
+//                  "replayed_deltas": ..., "retry_attempts": ...,
+//                  "retry_success": ..., "retry_exhausted": ...,
+//                  "retry_backoff_seconds": ...},
 //     "metrics": {"counters": {...}, "gauges": {...},
 //                 "histograms": {name: {count, dropped, sum,
 //                                       p50, p95, p99,

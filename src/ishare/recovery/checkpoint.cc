@@ -1,0 +1,103 @@
+#include "ishare/recovery/checkpoint.h"
+
+#include <bit>
+#include <cstring>
+
+#include "ishare/recovery/serializer.h"
+
+namespace ishare::recovery {
+
+// FNV-1a folded over 8-byte little-endian lanes instead of single bytes:
+// one multiply per 8 bytes of input runs close to memory bandwidth, which
+// matters because every checkpoint frame is checksummed on the execution
+// critical path. Any flipped bit still changes the lane it lands in and
+// therefore the digest; the total length is mixed in at the end so frames
+// differing only by trailing zero lanes cannot collide.
+uint64_t Fnv1a64(std::string_view data) {
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint64_t lane;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&lane, p, 8);
+    } else {
+      lane = 0;
+      for (int i = 0; i < 8; ++i) {
+        lane |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+      }
+    }
+    h = (h ^ lane) * kPrime;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t lane = 0;
+    for (size_t i = 0; i < n; ++i) {
+      lane |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+    }
+    h = (h ^ lane) * kPrime;
+  }
+  h = (h ^ static_cast<uint64_t>(data.size())) * kPrime;
+  return h;
+}
+
+std::string EncodeCheckpoint(const CheckpointHeader& header,
+                             std::string_view payload) {
+  CheckpointWriter w;
+  w.Reserve(kCheckpointMagic.size() + 28 + payload.size() + 8);
+  w.Raw(kCheckpointMagic.data(), kCheckpointMagic.size());
+  w.U32(header.version);
+  w.I64(header.epoch);
+  w.I64(header.step);
+  w.U64(payload.size());
+  w.Raw(payload.data(), payload.size());
+  uint64_t sum = Fnv1a64(w.data());
+  w.U64(sum);
+  return w.Take();
+}
+
+Result<DecodedCheckpoint> DecodeCheckpoint(std::string_view frame) {
+  constexpr size_t kHeaderSize = 8 + 4 + 8 + 8 + 8;
+  constexpr size_t kChecksumSize = 8;
+  if (frame.size() < kHeaderSize + kChecksumSize) {
+    return Status::DataLoss("torn checkpoint: frame has " +
+                            std::to_string(frame.size()) +
+                            " bytes, below minimum " +
+                            std::to_string(kHeaderSize + kChecksumSize));
+  }
+  if (frame.substr(0, kCheckpointMagic.size()) != kCheckpointMagic) {
+    return Status::DataLoss("torn checkpoint: bad magic");
+  }
+  CheckpointReader r(frame.substr(kCheckpointMagic.size()));
+  DecodedCheckpoint out;
+  out.header.version = r.U32();
+  out.header.epoch = r.I64();
+  out.header.step = r.I64();
+  uint64_t payload_size = r.U64();
+  // Verify the checksum before trusting any field (including the version):
+  // a flipped version byte must read as corruption, not "future version".
+  if (frame.size() != kHeaderSize + payload_size + kChecksumSize) {
+    return Status::DataLoss(
+        "torn checkpoint: frame size " + std::to_string(frame.size()) +
+        " does not match payload size " + std::to_string(payload_size));
+  }
+  std::string_view body = frame.substr(0, kHeaderSize + payload_size);
+  CheckpointReader tail(frame.substr(kHeaderSize + payload_size));
+  uint64_t stored_sum = tail.U64();
+  uint64_t actual_sum = Fnv1a64(body);
+  if (stored_sum != actual_sum) {
+    return Status::DataLoss("corrupted checkpoint: checksum mismatch");
+  }
+  if (out.header.version != kCheckpointFormatVersion) {
+    return Status::NotSupported(
+        "checkpoint format version " + std::to_string(out.header.version) +
+        " not readable by this build (expected " +
+        std::to_string(kCheckpointFormatVersion) + ")");
+  }
+  out.payload = std::string(frame.substr(kHeaderSize, payload_size));
+  return out;
+}
+
+}  // namespace ishare::recovery

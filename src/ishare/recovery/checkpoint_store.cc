@@ -1,0 +1,173 @@
+#include "ishare/recovery/checkpoint_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+#include <utility>
+
+#include "ishare/common/check.h"
+
+namespace ishare::recovery {
+
+namespace fs = std::filesystem;
+
+Status MemoryCheckpointStore::ConsumeFault() {
+  if (fault_.ok() || fault_remaining_ == 0) return Status::OK();
+  if (fault_remaining_ > 0) --fault_remaining_;
+  return fault_;
+}
+
+Status MemoryCheckpointStore::Stage(int64_t epoch, const std::string& frame) {
+  ISHARE_RETURN_NOT_OK(ConsumeFault());
+  staged_[epoch] = frame;
+  return Status::OK();
+}
+
+Status MemoryCheckpointStore::Commit(int64_t epoch) {
+  ISHARE_RETURN_NOT_OK(ConsumeFault());
+  auto it = staged_.find(epoch);
+  if (it == staged_.end()) {
+    return Status::NotFound("no staged checkpoint for epoch " +
+                            std::to_string(epoch));
+  }
+  committed_[epoch] = std::move(it->second);
+  staged_.erase(it);
+  return Status::OK();
+}
+
+std::vector<int64_t> MemoryCheckpointStore::CommittedEpochs() const {
+  std::vector<int64_t> out;
+  out.reserve(committed_.size());
+  for (const auto& [epoch, frame] : committed_) out.push_back(epoch);
+  return out;
+}
+
+Result<std::string> MemoryCheckpointStore::Load(int64_t epoch) const {
+  auto it = committed_.find(epoch);
+  if (it == committed_.end()) {
+    return Status::NotFound("no committed checkpoint for epoch " +
+                            std::to_string(epoch));
+  }
+  return it->second;
+}
+
+Status MemoryCheckpointStore::Drop(int64_t epoch) {
+  committed_.erase(epoch);
+  return Status::OK();
+}
+
+Status MemoryCheckpointStore::DiscardStaged() {
+  staged_.clear();
+  return Status::OK();
+}
+
+void MemoryCheckpointStore::InjectWriteFault(Status fault, int64_t times) {
+  CHECK(!fault.ok()) << "injected fault must be an error";
+  fault_ = std::move(fault);
+  fault_remaining_ = times;
+}
+
+void MemoryCheckpointStore::CorruptCommitted(int64_t epoch,
+                                             std::string frame) {
+  CHECK(committed_.count(epoch)) << "epoch " << epoch << " not committed";
+  committed_[epoch] = std::move(frame);
+}
+
+FileCheckpointStore::FileCheckpointStore(std::string dir)
+    : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+}
+
+std::string FileCheckpointStore::CommittedPath(int64_t epoch) const {
+  return dir_ + "/epoch_" + std::to_string(epoch) + ".ckpt";
+}
+
+std::string FileCheckpointStore::StagedPath(int64_t epoch) const {
+  return CommittedPath(epoch) + ".staged";
+}
+
+Status FileCheckpointStore::Stage(int64_t epoch, const std::string& frame) {
+  std::ofstream out(StagedPath(epoch), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Unavailable("cannot open " + StagedPath(epoch) +
+                               " for writing");
+  }
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) {
+    return Status::Unavailable("short write to " + StagedPath(epoch));
+  }
+  return Status::OK();
+}
+
+Status FileCheckpointStore::Commit(int64_t epoch) {
+  std::error_code ec;
+  if (!fs::exists(StagedPath(epoch), ec)) {
+    return Status::NotFound("no staged checkpoint for epoch " +
+                            std::to_string(epoch));
+  }
+  fs::rename(StagedPath(epoch), CommittedPath(epoch), ec);
+  if (ec) {
+    return Status::Unavailable("rename failed for epoch " +
+                               std::to_string(epoch) + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::vector<int64_t> FileCheckpointStore::CommittedEpochs() const {
+  std::vector<int64_t> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    std::string name = entry.path().filename().string();
+    constexpr std::string_view kPrefix = "epoch_";
+    constexpr std::string_view kSuffix = ".ckpt";
+    if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;  // .staged files and strangers
+    }
+    std::string digits = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789-") != std::string::npos) {
+      continue;
+    }
+    out.push_back(std::stoll(digits));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::string> FileCheckpointStore::Load(int64_t epoch) const {
+  std::ifstream in(CommittedPath(epoch), std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no committed checkpoint for epoch " +
+                            std::to_string(epoch));
+  }
+  std::string frame((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return frame;
+}
+
+Status FileCheckpointStore::Drop(int64_t epoch) {
+  std::error_code ec;
+  fs::remove(CommittedPath(epoch), ec);
+  return Status::OK();
+}
+
+Status FileCheckpointStore::DiscardStaged() {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".staged") {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ishare::recovery

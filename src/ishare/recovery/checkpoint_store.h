@@ -1,0 +1,102 @@
+#ifndef ISHARE_RECOVERY_CHECKPOINT_STORE_H_
+#define ISHARE_RECOVERY_CHECKPOINT_STORE_H_
+
+// Durable(ish) homes for checkpoint frames, with a two-phase commit
+// protocol (DESIGN.md §8): Stage() makes the bytes reachable but NOT
+// eligible for recovery; Commit() atomically publishes them. A crash
+// between the two leaves a staged blob that recovery ignores and
+// DiscardStaged() garbage-collects — this is how torn writes never
+// masquerade as valid checkpoints even before checksums enter the picture.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ishare/common/status.h"
+
+namespace ishare::recovery {
+
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  // Writes the frame under `epoch` without publishing it. Re-staging an
+  // epoch overwrites the previous staged bytes.
+  virtual Status Stage(int64_t epoch, const std::string& frame) = 0;
+
+  // Atomically publishes a previously staged epoch. NotFound if nothing
+  // is staged under `epoch`.
+  virtual Status Commit(int64_t epoch) = 0;
+
+  // Committed epoch ids in ascending order. Staged-only epochs excluded.
+  virtual std::vector<int64_t> CommittedEpochs() const = 0;
+
+  // Loads a committed frame. NotFound if the epoch was never committed.
+  virtual Result<std::string> Load(int64_t epoch) const = 0;
+
+  // Removes a committed frame (used to drop corrupt checkpoints).
+  virtual Status Drop(int64_t epoch) = 0;
+
+  // Removes all staged-but-uncommitted frames.
+  virtual Status DiscardStaged() = 0;
+};
+
+// In-memory store for tests and benches. Supports fault injection so the
+// manager's retry path can be exercised: the next `times` Stage/Commit
+// calls fail with `fault`, then the fault disarms. `times = -1` keeps the
+// fault armed forever (same convention as DeltaBuffer::InjectFault).
+class MemoryCheckpointStore : public CheckpointStore {
+ public:
+  Status Stage(int64_t epoch, const std::string& frame) override;
+  Status Commit(int64_t epoch) override;
+  std::vector<int64_t> CommittedEpochs() const override;
+  Result<std::string> Load(int64_t epoch) const override;
+  Status Drop(int64_t epoch) override;
+  Status DiscardStaged() override;
+
+  void InjectWriteFault(Status fault, int64_t times);
+
+  // Test hook: overwrite a committed frame in place (simulates bit rot).
+  void CorruptCommitted(int64_t epoch, std::string frame);
+
+  int64_t staged_count() const {
+    return static_cast<int64_t>(staged_.size());
+  }
+
+ private:
+  Status ConsumeFault();
+
+  std::map<int64_t, std::string> staged_;
+  std::map<int64_t, std::string> committed_;
+  Status fault_;
+  int64_t fault_remaining_ = 0;
+};
+
+// Filesystem-backed store. Staged frames live at
+// `<dir>/epoch_<n>.ckpt.staged`; Commit renames to `<dir>/epoch_<n>.ckpt`
+// (atomic on POSIX), so a crash mid-write can only ever leave a .staged
+// file behind, never a half-written committed one.
+class FileCheckpointStore : public CheckpointStore {
+ public:
+  explicit FileCheckpointStore(std::string dir);
+
+  Status Stage(int64_t epoch, const std::string& frame) override;
+  Status Commit(int64_t epoch) override;
+  std::vector<int64_t> CommittedEpochs() const override;
+  Result<std::string> Load(int64_t epoch) const override;
+  Status Drop(int64_t epoch) override;
+  Status DiscardStaged() override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string CommittedPath(int64_t epoch) const;
+  std::string StagedPath(int64_t epoch) const;
+
+  std::string dir_;
+};
+
+}  // namespace ishare::recovery
+
+#endif  // ISHARE_RECOVERY_CHECKPOINT_STORE_H_

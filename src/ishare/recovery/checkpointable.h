@@ -1,0 +1,32 @@
+#ifndef ISHARE_RECOVERY_CHECKPOINTABLE_H_
+#define ISHARE_RECOVERY_CHECKPOINTABLE_H_
+
+// The cross-cutting interface every stateful component implements so the
+// checkpoint manager can persist and resurrect it (DESIGN.md §8).
+//
+// Contract: Restore(Snapshot(x)) must leave the object in a state whose
+// observable behavior is bit-identical to x for all deterministic outputs.
+// Wall-clock timings may be serialized for reporting but must never feed
+// back into behavior — that is what keeps crash/restore/replay runs
+// byte-identical to uninterrupted ones.
+
+#include "ishare/common/status.h"
+#include "ishare/recovery/serializer.h"
+
+namespace ishare::recovery {
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  // Appends this object's full state to `w`.
+  virtual Status Snapshot(CheckpointWriter* w) const = 0;
+
+  // Rebuilds state from `r`, consuming exactly what Snapshot wrote. On
+  // error the object may be left partially restored; callers discard it.
+  virtual Status Restore(CheckpointReader* r) = 0;
+};
+
+}  // namespace ishare::recovery
+
+#endif  // ISHARE_RECOVERY_CHECKPOINTABLE_H_

@@ -1,0 +1,20 @@
+#include "ishare/recovery/retry.h"
+
+#include <algorithm>
+
+#include "ishare/common/rng.h"
+
+namespace ishare::recovery {
+
+double RetryPolicy::BackoffSeconds(int attempt) const {
+  double backoff = base_backoff_seconds;
+  for (int i = 1; i < attempt; ++i) backoff *= backoff_multiplier;
+  backoff = std::min(backoff, max_backoff_seconds);
+  if (jitter > 0) {
+    Rng rng(jitter_seed ^ (static_cast<uint64_t>(attempt) * 0x9e3779b9ULL));
+    backoff *= rng.UniformDouble(1.0 - jitter, 1.0 + jitter);
+  }
+  return backoff;
+}
+
+}  // namespace ishare::recovery

@@ -1,0 +1,64 @@
+#ifndef ISHARE_RECOVERY_RETRY_H_
+#define ISHARE_RECOVERY_RETRY_H_
+
+// Bounded exponential backoff with deterministic jitter for transient
+// faults (DESIGN.md §8). Only Status::IsTransient() errors are retried;
+// permanent errors propagate on the first attempt so one query's logic
+// error can never stall co-scheduled queries behind a retry loop.
+//
+// Backoff time is *virtual*: BackoffSeconds() is a pure function and the
+// executors account it into metrics instead of sleeping, keeping every
+// test and bench deterministic and fast. A production deployment would
+// sleep for the same values.
+
+#include <cstdint>
+
+#include "ishare/common/status.h"
+
+namespace ishare::recovery {
+
+struct RetryPolicy {
+  // Total tries = 1 initial attempt + up to (max_attempts - 1) retries.
+  int max_attempts = 4;
+  double base_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.100;
+  // Each backoff is scaled by a factor in [1 - jitter, 1 + jitter] drawn
+  // deterministically from jitter_seed and the attempt number.
+  double jitter = 0.25;
+  uint64_t jitter_seed = 0x15eed;
+
+  // True if `status` is transient and `attempt` (1-based count of tries
+  // already made) leaves budget for another try.
+  bool ShouldRetry(const Status& status, int attempt) const {
+    return status.IsTransient() && attempt < max_attempts;
+  }
+
+  // Jittered backoff before retry number `attempt` (attempt >= 1).
+  // Deterministic: same policy + attempt always yields the same value.
+  double BackoffSeconds(int attempt) const;
+};
+
+// Runs `op` (returning Status) under `policy`, accumulating virtual
+// backoff into *backoff_seconds and attempt count into *attempts (both
+// optional). Returns the first permanent error, the last transient error
+// if the budget is exhausted, or OK.
+template <typename Op>
+Status RetryTransient(const RetryPolicy& policy, Op&& op,
+                      int* attempts = nullptr,
+                      double* backoff_seconds = nullptr) {
+  int tries = 0;
+  for (;;) {
+    Status st = op();
+    ++tries;
+    if (attempts != nullptr) *attempts = tries;
+    if (st.ok() || !policy.ShouldRetry(st, tries)) return st;
+    if (backoff_seconds != nullptr) {
+      *backoff_seconds += policy.BackoffSeconds(tries);
+    }
+  }
+}
+
+}  // namespace ishare::recovery
+
+#endif  // ISHARE_RECOVERY_RETRY_H_

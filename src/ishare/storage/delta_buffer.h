@@ -8,6 +8,7 @@
 
 #include "ishare/common/check.h"
 #include "ishare/common/status.h"
+#include "ishare/recovery/serializer.h"
 #include "ishare/storage/delta.h"
 #include "ishare/types/schema.h"
 
@@ -20,11 +21,14 @@ namespace ishare {
 // each parent pulls new tuples at its own pace (Sec. 2.2). Base relations
 // are buffers of the same kind fed by the StreamSource.
 //
-// Runtime-facing entry points (the Consume* family) are part of the
-// recoverable error spine: malformed-but-possible inputs (a bad consumer
-// id, a negative limit) and injected storage faults surface as Status
-// instead of aborting, so a shared executor can fail one run without
-// taking down co-scheduled queries.
+// Runtime-facing entry points (the Consume* family and the offset
+// accessors) are part of the recoverable error spine: malformed-but-
+// possible inputs (a bad consumer id, a negative limit) and injected
+// storage faults surface as Status instead of aborting, so a shared
+// executor can fail one run without taking down co-scheduled queries.
+// Faults injected with a finite `times` are *transient* (kUnavailable by
+// convention) and auto-disarm, which is what the executors' retry/backoff
+// path (DESIGN.md §8) recovers from.
 class DeltaBuffer {
  public:
   DeltaBuffer() = default;
@@ -50,15 +54,16 @@ class DeltaBuffer {
   }
   int num_consumers() const { return static_cast<int>(offsets_.size()); }
 
-  // Offset of `consumer`, or -1 if the id is not registered.
-  int64_t ConsumerOffset(int consumer) const {
-    if (consumer < 0 || consumer >= num_consumers()) return -1;
+  // Offset of `consumer`; InvalidArgument if the id is not registered.
+  Result<int64_t> ConsumerOffset(int consumer) const {
+    ISHARE_RETURN_NOT_OK(CheckConsumerId(consumer));
     return offsets_[consumer];
   }
 
-  // Number of tuples the consumer has not read yet; -1 for a bad id.
-  int64_t Pending(int consumer) const {
-    if (consumer < 0 || consumer >= num_consumers()) return -1;
+  // Number of tuples the consumer has not read yet; InvalidArgument for a
+  // bad id.
+  Result<int64_t> Pending(int consumer) const {
+    ISHARE_RETURN_NOT_OK(CheckConsumerId(consumer));
     return size() - offsets_[consumer];
   }
 
@@ -85,24 +90,102 @@ class DeltaBuffer {
 
   const std::vector<DeltaTuple>& log() const { return log_; }
 
-  // Drops all tuples and resets every consumer offset to zero.
+  // Drops all tuples, resets every consumer offset to zero, AND disarms
+  // any injected fault: a reset buffer is fresh in every respect. (A
+  // buffer that still errored on consume after Reset() was a trap for
+  // harness reuse; tests pin the new contract.)
   void Reset() {
     log_.clear();
     std::fill(offsets_.begin(), offsets_.end(), 0);
+    ClearFault();
   }
 
-  // Fault injection: every subsequent consume returns `st` until
-  // ClearFault(). Models a poisoned/unreachable topic partition; tests use
-  // it to prove the executors surface storage failures instead of crashing.
-  void InjectFault(Status st) {
+  // Fault injection: subsequent consumes return `st` until ClearFault().
+  // With `times >= 0`, only the next `times` consumes fail, then the fault
+  // disarms on its own — that models a transient outage (pass a
+  // Status::Unavailable so retry policies classify it correctly). The
+  // default `times = -1` keeps the fault armed forever (a poisoned
+  // partition), matching the original single-argument behavior.
+  void InjectFault(Status st, int64_t times = -1) {
     CHECK(!st.ok()) << "injected fault must be an error";
+    if (times == 0) {  // zero failures requested: nothing to arm
+      ClearFault();
+      return;
+    }
     fault_ = std::move(st);
+    fault_remaining_ = times;
   }
-  void ClearFault() { fault_ = Status::OK(); }
+  void ClearFault() {
+    fault_ = Status::OK();
+    fault_remaining_ = -1;
+  }
+  bool HasFault() const { return !fault_.ok(); }
+
+  // ---- Checkpoint support (DESIGN.md §8) --------------------------------
+
+  // Full state: log contents + consumer offsets. Schema/name/faults are
+  // construction-time or test-only state and are deliberately excluded —
+  // recovery rebuilds buffers from the same plan, then restores into them.
+  void Snapshot(recovery::CheckpointWriter* w) const {
+    w->U64(log_.size());
+    for (const DeltaTuple& t : log_) {
+      recovery::WriteRow(w, t.row);
+      recovery::WriteQuerySet(w, t.qset);
+      w->I64(t.weight);
+    }
+    SnapshotOffsets(w);
+  }
+
+  Status Restore(recovery::CheckpointReader* r) {
+    uint64_t n = r->U64();
+    if (n > r->remaining()) {
+      r->Fail("delta log length " + std::to_string(n) + " exceeds payload");
+      return r->status();
+    }
+    log_.clear();
+    log_.reserve(n);
+    for (uint64_t i = 0; i < n && r->ok(); ++i) {
+      DeltaTuple t;
+      t.row = recovery::ReadRow(r);
+      t.qset = recovery::ReadQuerySet(r);
+      t.weight = static_cast<int32_t>(r->I64());
+      log_.push_back(std::move(t));
+    }
+    return RestoreOffsets(r);
+  }
+
+  // Offsets only. Used for base-relation buffers whose log is regenerated
+  // deterministically by replaying the StreamSource to the checkpointed
+  // fraction; persisting just the read positions keeps checkpoints small.
+  void SnapshotOffsets(recovery::CheckpointWriter* w) const {
+    w->U64(offsets_.size());
+    for (int64_t off : offsets_) w->I64(off);
+  }
+
+  Status RestoreOffsets(recovery::CheckpointReader* r) {
+    uint64_t n = r->U64();
+    if (!r->ok()) return r->status();
+    if (n != offsets_.size()) {
+      r->Fail("checkpoint has " + std::to_string(n) +
+              " consumer offsets but buffer '" + name_ + "' registered " +
+              std::to_string(offsets_.size()));
+      return r->status();
+    }
+    for (size_t i = 0; i < offsets_.size(); ++i) {
+      int64_t off = r->I64();
+      if (off < 0 || off > size()) {
+        r->Fail("consumer offset " + std::to_string(off) +
+                " out of range [0, " + std::to_string(size()) +
+                "] on buffer '" + name_ + "'");
+        return r->status();
+      }
+      offsets_[i] = off;
+    }
+    return r->status();
+  }
 
  private:
-  Status ConsumeCheck(int consumer) const {
-    if (!fault_.ok()) return fault_;
+  Status CheckConsumerId(int consumer) const {
     if (consumer < 0 || consumer >= num_consumers()) {
       return Status::InvalidArgument(
           "unknown consumer id " + std::to_string(consumer) + " on buffer '" +
@@ -111,11 +194,21 @@ class DeltaBuffer {
     return Status::OK();
   }
 
+  Status ConsumeCheck(int consumer) {
+    if (!fault_.ok()) {
+      Status out = fault_;
+      if (fault_remaining_ > 0 && --fault_remaining_ == 0) ClearFault();
+      return out;
+    }
+    return CheckConsumerId(consumer);
+  }
+
   Schema schema_;
   std::string name_;
   std::vector<DeltaTuple> log_;
   std::vector<int64_t> offsets_;
   Status fault_;
+  int64_t fault_remaining_ = -1;
 };
 
 }  // namespace ishare

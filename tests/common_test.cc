@@ -62,6 +62,28 @@ TEST(StatusTest, OkAndErrors) {
   EXPECT_EQ(s.ToString(), "InvalidArgument: bad pace");
 }
 
+TEST(StatusTest, TransientTaxonomy) {
+  // The retry taxonomy (DESIGN.md §8): exactly kUnavailable is transient;
+  // everything else — including data loss — is permanent. Retrying a
+  // permanent error can never help and only delays the failure.
+  EXPECT_TRUE(Status::Unavailable("partition handoff").IsTransient());
+  EXPECT_TRUE(StatusCodeIsTransient(StatusCode::kUnavailable));
+
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+  EXPECT_FALSE(Status::NotFound("x").IsTransient());
+  EXPECT_FALSE(Status::AlreadyExists("x").IsTransient());
+  EXPECT_FALSE(Status::OutOfRange("x").IsTransient());
+  EXPECT_FALSE(Status::NotSupported("x").IsTransient());
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
+  EXPECT_FALSE(Status::DataLoss("x").IsTransient());
+}
+
+TEST(StatusTest, NewCodesHaveNames) {
+  EXPECT_EQ(Status::Unavailable("s down").ToString(), "Unavailable: s down");
+  EXPECT_EQ(Status::DataLoss("torn").ToString(), "DataLoss: torn");
+}
+
 TEST(StatusTest, ResultHoldsValue) {
   Result<int> r(42);
   ASSERT_TRUE(r.ok());

@@ -126,15 +126,25 @@ TEST(JsonExportGoldenTest, GoldenDocumentParsesBack) {
   ASSERT_TRUE(obs::ParseJson(GoldenDocument(), &v, &err)) << err;
   ASSERT_EQ(v.kind, obs::JsonValue::Kind::kObject);
   // Top-level key order is part of the schema contract.
-  ASSERT_GE(v.obj.size(), 6u);
+  ASSERT_GE(v.obj.size(), 7u);
   EXPECT_EQ(v.obj[0].first, "schema_version");
   EXPECT_EQ(v.obj[1].first, "generator");
   EXPECT_EQ(v.obj[2].first, "bench");
   EXPECT_EQ(v.obj[3].first, "config");
   EXPECT_EQ(v.obj[4].first, "results");
-  EXPECT_EQ(v.obj[5].first, "metrics");
-  EXPECT_EQ(v.obj[6].first, "spans");
-  EXPECT_DOUBLE_EQ(v.Find("schema_version")->num, 1.0);
+  EXPECT_EQ(v.obj[5].first, "recovery");
+  EXPECT_EQ(v.obj[6].first, "metrics");
+  EXPECT_EQ(v.obj[7].first, "spans");
+  EXPECT_DOUBLE_EQ(v.Find("schema_version")->num, 2.0);
+
+  // The recovery rollup is present (all zeros here: the hand-crafted
+  // snapshot has no recovery.* counters) with a stable key set.
+  const obs::JsonValue* rec = v.Find("recovery");
+  ASSERT_NE(rec, nullptr);
+  ASSERT_EQ(rec->obj.size(), 9u);
+  EXPECT_EQ(rec->obj[0].first, "checkpoints");
+  EXPECT_EQ(rec->obj[8].first, "retry_backoff_seconds");
+  EXPECT_DOUBLE_EQ(rec->Find("checkpoints")->num, 0.0);
 }
 
 TEST(JsonExportTest, RealExperimentExportRoundTrips) {

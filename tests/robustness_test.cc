@@ -40,8 +40,11 @@ TEST(ErrorSpine, BadConsumerIdReturnsInvalidArgument) {
   auto r = buf.ConsumeNew(5);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(buf.ConsumerOffset(5), -1);
-  EXPECT_EQ(buf.Pending(-1), -1);
+  // Out-of-range consumer ids surface as errors from the inspection
+  // accessors too, instead of a -1 sentinel callers could miss.
+  EXPECT_EQ(buf.ConsumerOffset(5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(buf.Pending(-1).status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ErrorSpine, NegativeConsumeLimitReturnsInvalidArgument) {
@@ -52,7 +55,7 @@ TEST(ErrorSpine, NegativeConsumeLimitReturnsInvalidArgument) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   // The failed consume must not have advanced the offset.
-  EXPECT_EQ(buf.Pending(c), 1);
+  EXPECT_EQ(buf.Pending(c).value(), 1);
 }
 
 TEST(ErrorSpine, InjectedFaultSurfacesAndClears) {

@@ -19,8 +19,8 @@ TEST(DeltaBufferTest, IndependentConsumers) {
 
   DeltaSpan b1 = buf.ConsumeNew(c1).value();
   EXPECT_EQ(b1.size(), 2u);
-  EXPECT_EQ(buf.Pending(c1), 0);
-  EXPECT_EQ(buf.Pending(c2), 2);
+  EXPECT_EQ(buf.Pending(c1).value(), 0);
+  EXPECT_EQ(buf.Pending(c2).value(), 2);
 
   buf.Append(DeltaTuple({Value(int64_t{3})}, QuerySet::Single(0), 1));
   EXPECT_EQ(buf.ConsumeNew(c1).value().size(), 1u);
@@ -45,7 +45,7 @@ TEST(DeltaBufferTest, ResetClearsLogAndOffsets) {
   (void)buf.ConsumeNew(c);
   buf.Reset();
   EXPECT_EQ(buf.size(), 0);
-  EXPECT_EQ(buf.Pending(c), 0);
+  EXPECT_EQ(buf.Pending(c).value(), 0);
   buf.Append(DeltaTuple({Value(int64_t{2})}, QuerySet::Single(0), 1));
   EXPECT_EQ(buf.ConsumeNew(c).value().size(), 1u);
 }
