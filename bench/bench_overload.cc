@@ -1,0 +1,141 @@
+// Overload-control gate bench (DESIGN.md §9): runs the overload harness —
+// unbounded working-set measurement, budget derivation, bounded re-run with
+// slackness-aware shedding — over a bursty TPC-H stream, and exits non-zero
+// unless every flow gate holds:
+//   1. peak tracked memory stays within the derived budget;
+//   2. zero-slack queries keep their final-work deadlines and are never
+//      dropped from;
+//   3. shed accounting balances exactly (arrived == admitted + dropped);
+//   4. hard-budget drops land in descending-slack order;
+//   5. a defer-only bounded run is bit-exact versus the unbounded run.
+//
+// Workload: three TPC-H queries with separate roots. Q5 gets an absolute
+// constraint equal to its predicted final work — slack exactly zero, so
+// the shedding policy must treat its whole subtree as protective. Q8 and
+// Q9 get 10x headroom — slack ~0.9, first in line when the budget bites.
+// The stream is perturbed with bursts (releases arrive ahead of
+// schedule), which both spikes memory pressure mid-window and guarantees
+// the trigger's remaining input never exceeds the clean-schedule
+// prediction the zero-slack deadline was set from.
+
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "ishare/harness/overload_harness.h"
+#include "ishare/storage/perturbed_source.h"
+
+namespace ishare {
+namespace {
+
+const char* PassFail(bool b) { return b ? "PASS" : "FAIL"; }
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Overload control — budget, shedding, and accounting gates",
+              cfg);
+
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries = {TpchQuery(db.catalog, 5, 0),
+                                    TpchQuery(db.catalog, 8, 1),
+                                    TpchQuery(db.catalog, 9, 2)};
+  SubplanGraph g = SubplanGraph::Build(queries);
+  PaceConfig paces(g.num_subplans(), cfg.quick ? 10 : 12);
+
+  // Constraints off the calibrated estimator: Q5 exactly at its predicted
+  // final work (zero slack), the others with 10x headroom.
+  CostEstimator est(&g, &db.catalog);
+  PlanCost cost = est.Estimate(paces);
+  std::vector<double> abs = {cost.query_final_work[0],
+                             10.0 * cost.query_final_work[1],
+                             10.0 * cost.query_final_work[2]};
+
+  // Mid-window bursts on every table: memory pressure spikes, while the
+  // remaining input at any later boundary only shrinks versus the clean
+  // schedule (bursts release ahead of it, never behind).
+  FaultPlan plan;
+  plan.seed = cfg.seed;
+  plan.events.push_back({FaultEvent::Kind::kBurst, 0.30, 0.0, 0.25, ""});
+  plan.events.push_back({FaultEvent::Kind::kBurst, 0.62, 0.0, 0.20, ""});
+  CHECK(plan.Validate().ok());
+  SourceFactory factory = [&db, &plan]() {
+    auto src = std::make_unique<PerturbedStreamSource>(plan);
+    CHECK(db.source.CloneTablesInto(src.get()).ok());
+    return src;
+  };
+
+  // Shed early and drain deep: deferral starts at 35% pressure (freezing
+  // sheddable state growth well before the ceiling) and the drop pass
+  // drains pending input to 30% so burst arrivals land in headroom.
+  OverloadOptions options;
+  options.policy.shed_pressure_start = 0.35;
+  options.drop_pressure_target = 0.3;
+  auto rep_or = RunOverload(&est, paces, abs, factory, options);
+  if (!rep_or.ok()) {
+    std::fprintf(stderr, "overload harness failed: %s\n",
+                 rep_or.status().ToString().c_str());
+    return 1;
+  }
+  const OverloadReport& rep = *rep_or;
+
+  std::printf("\n== working set and budget ==\n");
+  TextTable mem({"quantity", "bytes"});
+  mem.AddRow({"peak unbounded",
+              TextTable::Num(static_cast<double>(rep.peak_unbounded), 0)});
+  mem.AddRow({"protective peak",
+              TextTable::Num(static_cast<double>(rep.protective_peak), 0)});
+  mem.AddRow({"derived budget",
+              TextTable::Num(static_cast<double>(rep.budget_bytes), 0)});
+  mem.AddRow({"peak bounded",
+              TextTable::Num(static_cast<double>(rep.peak_bounded), 0)});
+  mem.Print();
+
+  std::printf(
+      "\naccounting: arrived %lld = admitted %lld + dropped %lld | "
+      "deferred execs %lld, backpressure events %lld, trims %lld "
+      "(%lld tuples)\n",
+      static_cast<long long>(rep.arrived),
+      static_cast<long long>(rep.admitted),
+      static_cast<long long>(rep.dropped),
+      static_cast<long long>(rep.flow.shed_deferred),
+      static_cast<long long>(rep.flow.backpressure_events),
+      static_cast<long long>(rep.flow.trims),
+      static_cast<long long>(rep.flow.trimmed_tuples));
+
+  std::printf("\n== per-query shedding (bounded defer+drop pass) ==\n");
+  TextTable qt({"query", "slack", "constraint", "final_work", "deadline",
+                "deferred", "dropped"});
+  for (size_t q = 0; q < rep.queries.size(); ++q) {
+    const OverloadQueryReport& qr = rep.queries[q];
+    qt.AddRow({queries[q].name, TextTable::Num(qr.slack, 3),
+               TextTable::Num(qr.constraint, 0),
+               TextTable::Num(qr.final_work, 0),
+               qr.deadline_met ? "met" : "MISSED",
+               TextTable::Num(static_cast<double>(qr.deferred_execs), 0),
+               TextTable::Num(static_cast<double>(qr.dropped_tuples), 0)});
+  }
+  qt.Print();
+
+  std::printf("\n== gates ==\n");
+  TextTable gates({"gate", "verdict"});
+  gates.AddRow({"peak within budget", PassFail(rep.peak_within_budget)});
+  gates.AddRow(
+      {"zero-slack deadlines kept", PassFail(rep.zero_slack_deadlines_kept)});
+  gates.AddRow({"accounting balanced", PassFail(rep.accounting_balanced)});
+  gates.AddRow(
+      {"drops in descending slack", PassFail(rep.shed_order_descending)});
+  gates.AddRow({"defer-only bit-exact", PassFail(rep.defer_only_bit_exact)});
+  gates.Print();
+  if (!rep.mismatch.empty()) {
+    std::printf("first failure: %s\n", rep.mismatch.c_str());
+  }
+  std::printf("overall: %s\n", PassFail(rep.AllGatesPass()));
+
+  int json_rc = FinishBench(cfg, "bench_overload", {});
+  return (rep.AllGatesPass() && json_rc == 0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

@@ -2,6 +2,7 @@
 # Local CI entry point. Mirrors .github/workflows/ci.yml:
 #   ./ci.sh           -> configure + build + ctest (default preset)
 #   ./ci.sh asan      -> same under -fsanitize=address,undefined
+#   ./ci.sh ubsan     -> same under standalone -fsanitize=undefined (no recovery)
 #   ./ci.sh noobs     -> same with ISHARE_OBS_ENABLED=OFF (obs compiled out)
 #   ./ci.sh bench     -> quick benchmark gates (non-zero on failure)
 #   ./ci.sh docs      -> markdown link check
@@ -11,7 +12,7 @@ cd "$(dirname "$0")"
 mode="${1:-default}"
 
 case "$mode" in
-  default|asan|noobs)
+  default|asan|ubsan|noobs)
     cmake --preset "$mode"
     cmake --build --preset "$mode" -j "$(nproc)"
     ctest --preset "$mode"
@@ -19,17 +20,18 @@ case "$mode" in
   bench)
     cmake --preset default
     cmake --build --preset default -j "$(nproc)" \
-      --target bench_robustness bench_operators bench_obs_overhead bench_recovery
+      --target bench_robustness bench_operators bench_obs_overhead bench_recovery bench_overload
     ./build/bench/bench_robustness --quick
     ./build/bench/bench_operators --benchmark_filter=ConsumeZeroCopy --benchmark_min_time=0.05
     ./build/bench/bench_obs_overhead --quick
     ./build/bench/bench_recovery --quick
+    ./build/bench/bench_overload --quick
     ;;
   docs)
     python3 tools/check_md_links.py
     ;;
   *)
-    echo "usage: $0 [default|asan|noobs|bench|docs]" >&2
+    echo "usage: $0 [default|asan|ubsan|noobs|bench|docs]" >&2
     exit 2
     ;;
 esac

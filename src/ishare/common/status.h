@@ -33,6 +33,14 @@ enum class StatusCode {
   kUnavailable,
   // Stored state failed validation (torn write, checksum mismatch).
   kDataLoss,
+  // A resource budget (memory, buffer capacity) is exhausted. This is
+  // *backpressure*, not a fault: the operation will succeed once the
+  // consumer drains or the flow controller sheds load. Deliberately not
+  // transient — retrying in a tight loop with the storage-fault backoff
+  // policy would burn the retry budget meant for kUnavailable faults
+  // without making progress. Callers test IsRetryableBackpressure() and
+  // route through the flow-control layer (defer/shed) instead.
+  kResourceExhausted,
 };
 
 // True for codes whose failures are worth retrying (see taxonomy above).
@@ -73,6 +81,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +92,15 @@ class Status {
   // True when the failure is worth retrying (see the taxonomy on
   // StatusCode). OK statuses are not transient: there is nothing to retry.
   bool IsTransient() const { return StatusCodeIsTransient(code_); }
+
+  // True when the failure is backpressure from the flow-control layer:
+  // the operation becomes admissible again once pressure drains, but a
+  // blind retry loop is the wrong response (it cannot drain anything and
+  // would consume the bounded retry budget reserved for transient storage
+  // faults). Disjoint from IsTransient() by construction.
+  bool IsRetryableBackpressure() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   // Human-readable rendering, e.g. "InvalidArgument: bad pace".
   std::string ToString() const;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "ishare/common/fraction.h"
+#include "ishare/flow/shedding.h"
 #include "ishare/obs/obs.h"
 
 namespace ishare {
@@ -33,13 +34,37 @@ AdaptiveExecutor::AdaptiveExecutor(CostEstimator* estimator,
   pred_final_.resize(n, 0.0);
   pred_nonfinal_.resize(n, 0.0);
   protective_.resize(n, true);
+  slack_.resize(constraints_.size(), 0.0);
+  subplan_slack_.resize(n, 0.0);
+  sheddable_.resize(n, false);
   for (int i : graph_->TopoChildrenFirst()) {
     const Subplan& sp = graph_->subplan(i);
     buffers_[i] = std::make_unique<DeltaBuffer>(
         sp.root->output_schema, "subplan_" + std::to_string(i));
+    if (opts_.flow.budget != nullptr) {
+      BufferLimits limits;
+      limits.soft_limit_bytes = opts_.flow.buffer_soft_limit_bytes;
+      limits.high_watermark = opts_.flow.buffer_high_watermark;
+      limits.low_watermark = opts_.flow.buffer_low_watermark;
+      buffers_[i]->set_limits(limits);
+      buffers_[i]->AttachBudget(opts_.flow.budget);
+    }
     executors_[i] = std::make_unique<SubplanExecutor>(
         sp, source_, buffers_, buffers_[i].get(), opts_);
   }
+  if (opts_.flow.budget != nullptr) {
+    base_component_ = opts_.flow.budget->Register("base");
+    PublishBaseBytes();
+  }
+}
+
+void AdaptiveExecutor::PublishBaseBytes() {
+  if (base_component_ < 0) return;
+  int64_t bytes = 0;
+  for (const std::string& name : source_->TableNames()) {
+    bytes += source_->buffer(name)->retained_bytes();
+  }
+  opts_.flow.budget->Set(base_component_, bytes);
 }
 
 void AdaptiveExecutor::RecomputePredictions() {
@@ -63,13 +88,23 @@ void AdaptiveExecutor::RecomputePredictions() {
     double corrected = corrected_ratio_ * cost.query_final_work[q];
     at_risk[q] = corrected >= constraints_[q] * (1.0 - policy_.risk_margin);
   }
+  // Time slackness (DESIGN.md §9): the shedding policy's ranking. A
+  // subplan is only as expendable as the least-slack query it serves,
+  // and serving any at-risk query makes it protective — never shed.
+  slack_ = QuerySlackFractions(cost, constraints_, corrected_ratio_);
   for (int s = 0; s < n; ++s) {
     protective_[s] = false;
+    double min_slack = 1.0;
     for (QueryId q : graph_->subplan(s).queries.ToIds()) {
       if (q < static_cast<QueryId>(at_risk.size()) && at_risk[q]) {
         protective_[s] = true;
       }
+      if (q < static_cast<QueryId>(slack_.size())) {
+        min_slack = std::min(min_slack, slack_[q]);
+      }
     }
+    subplan_slack_[s] = min_slack;
+    sheddable_[s] = !protective_[s];
   }
 }
 
@@ -101,8 +136,42 @@ Status AdaptiveExecutor::BeginWindow(const PaceConfig& initial_paces) {
   ws_ = WindowState{};
   ws_.out.run.subplans.resize(graph_->num_subplans());
   ws_.out.stats.pace_history.push_back(paces_);
+  ws_.out.flow.query_deferred.assign(constraints_.size(), 0);
+  ws_.out.flow.query_dropped.assign(constraints_.size(), 0);
   RebuildPoints(Fraction{0, 1});
   ws_.active = true;
+  return Status::OK();
+}
+
+// Hard-budget enforcement: discards the pending input of sheddable
+// subplans in descending-slack order until usage fits the budget (or no
+// sheddable subplan has pending input left). Runs *before* this step's
+// executions so operator state cannot grow with input the budget has no
+// room for. Each discard is immediately trimmable, so the trim after
+// each drop is what actually returns the bytes.
+Status AdaptiveExecutor::ShedDropPass(const std::vector<int>& shed_order) {
+  flow::MemoryBudget* budget = opts_.flow.budget;
+  flow::FlowStats& fs = ws_.out.flow;
+  for (int s : shed_order) {
+    if (budget->Pressure() < policy_.drop_pressure_target) break;
+    ISHARE_ASSIGN_OR_RETURN(int64_t dropped,
+                            executors_[s]->DiscardPendingInput());
+    if (dropped == 0) continue;
+    fs.dropped_tuples += dropped;
+    ws_.out.drop_log.push_back(
+        ShedDropEvent{ws_.step + 1, s, subplan_slack_[s], dropped});
+    for (QueryId q : graph_->subplan(s).queries.ToIds()) {
+      if (q < static_cast<QueryId>(fs.query_dropped.size())) {
+        fs.query_dropped[q] += dropped;
+      }
+    }
+    int64_t reclaimed = TrimEngineBuffers(*graph_, source_, buffers_);
+    if (reclaimed > 0) {
+      ++fs.trims;
+      fs.trimmed_tuples += reclaimed;
+    }
+    PublishBaseBytes();
+  }
   return Status::OK();
 }
 
@@ -115,6 +184,27 @@ Status AdaptiveExecutor::StepOnce() {
   ISHARE_RETURN_NOT_OK(source_->AdvanceToStep(f.num, f.den));
   bool is_trigger = (f.num == f.den);
   int64_t step = ws_.step + 1;  // 1-based step being executed
+
+  // Flow control (DESIGN.md §9): account the newly arrived base bytes,
+  // enforce the hard budget by dropping slackest-first if enabled, and
+  // compute this step's deferral set from the current pressure. The shed
+  // set is decided before any execution so the decision depends only on
+  // checkpointed state plus the (deterministic) stream — replayable.
+  std::vector<char> shed(graph_->num_subplans(), 0);
+  flow::MemoryBudget* mem = opts_.flow.budget;
+  if (mem != nullptr) {
+    PublishBaseBytes();
+    std::vector<int> shed_order = flow::ShedOrder(subplan_slack_, sheddable_);
+    if (policy_.enable_shed_drop && mem->limited() &&
+        mem->Pressure() >= policy_.drop_pressure_target) {
+      ISHARE_RETURN_NOT_OK(ShedDropPass(shed_order));
+    }
+    if (policy_.enable_shed_defer && mem->limited() && !is_trigger) {
+      int quota = flow::ShedQuota(mem->Pressure(), policy_.shed_pressure_start,
+                                  static_cast<int>(shed_order.size()));
+      for (int i = 0; i < quota; ++i) shed[shed_order[i]] = 1;
+    }
+  }
 
   // Overload: cumulative work has outrun the drift-corrected pro-rata
   // budget for the window progress so far.
@@ -141,10 +231,39 @@ Status AdaptiveExecutor::StepOnce() {
       obs::Registry().GetCounter("exec.adaptive.skip").Add(1);
       continue;
     }
+    // Slackness-aware deferral: a sheddable subplan's scheduled
+    // intermediate execution is pushed to a later point, either by the
+    // pressure quota or because its output buffer / the budget refuses
+    // admission. The trigger is exempt, so results are unchanged.
+    bool shed_defer = scheduled && !is_trigger && shed[s] != 0;
+    if (!shed_defer && scheduled && !is_trigger && sheddable_[s] &&
+        mem != nullptr) {
+      bool denied = !buffers_[s]->AdmitStatus().ok();
+      if (!denied && mem->limited()) {
+        denied = mem->GrantHeadroom(executors_[s]->last_output_bytes())
+                     .IsRetryableBackpressure();
+      }
+      if (denied) {
+        shed_defer = true;
+        ++out.flow.backpressure_events;
+        obs::Registry().GetCounter("flow.backpressure.defer").Add(1);
+      }
+    }
+    if (shed_defer) {
+      ++out.flow.shed_deferred;
+      for (QueryId q : graph_->subplan(s).queries.ToIds()) {
+        if (q < static_cast<QueryId>(out.flow.query_deferred.size())) {
+          ++out.flow.query_deferred[q];
+        }
+      }
+      obs::Registry().GetCounter("flow.shed.deferred").Add(1);
+      continue;
+    }
     if (!scheduled && !catchup) continue;
 
     if (before_subplan_) ISHARE_RETURN_NOT_OK(before_subplan_(step, s));
     ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
+    out.flow.admitted_tuples += rec.tuples_in;
     SubplanRunStats& st = out.run.subplans[s];
     st.work_per_exec.push_back(rec.work);
     st.secs_per_exec.push_back(rec.seconds);
@@ -206,6 +325,17 @@ Status AdaptiveExecutor::StepOnce() {
     }
   }
   RecomputePredictions();
+  // Boundary trim: everything below the slowest consumer is dead weight
+  // between steps; reclaiming here keeps the step-boundary fingerprints
+  // (and therefore checkpoints) deterministic.
+  if (opts_.flow.trim_at_boundaries) {
+    int64_t reclaimed = TrimEngineBuffers(*graph_, source_, buffers_);
+    if (reclaimed > 0) {
+      ++out.flow.trims;
+      out.flow.trimmed_tuples += reclaimed;
+    }
+    PublishBaseBytes();
+  }
   ws_.last_point = f;
   return Status::OK();
 }
@@ -274,6 +404,17 @@ Status AdaptiveExecutor::SnapshotImpl(recovery::CheckpointWriter* w,
     w->U64(pc.size());
     for (int p : pc) w->I64(p);
   }
+  const flow::FlowStats& fs = ws_.out.flow;
+  w->I64(fs.admitted_tuples);
+  w->I64(fs.dropped_tuples);
+  w->I64(fs.shed_deferred);
+  w->I64(fs.backpressure_events);
+  w->I64(fs.trims);
+  w->I64(fs.trimmed_tuples);
+  w->U64(fs.query_deferred.size());
+  for (int64_t v : fs.query_deferred) w->I64(v);
+  w->U64(fs.query_dropped.size());
+  for (int64_t v : fs.query_dropped) w->I64(v);
   SnapshotRunStats(w, ws_.out.run, include_timings);
   return SnapshotEngineState(w, *source_, buffers_, executors_);
 }
@@ -352,6 +493,28 @@ Status AdaptiveExecutor::Restore(recovery::CheckpointReader* r) {
     for (int& p : pc) p = static_cast<int>(r->I64());
     stats.pace_history.push_back(std::move(pc));
   }
+  flow::FlowStats& fs = ws_.out.flow;
+  fs.admitted_tuples = r->I64();
+  fs.dropped_tuples = r->I64();
+  fs.shed_deferred = r->I64();
+  fs.backpressure_events = r->I64();
+  fs.trims = r->I64();
+  fs.trimmed_tuples = r->I64();
+  uint64_t nqd = r->U64();
+  if (nqd > r->remaining()) {
+    r->Fail("checkpoint flow deferred-count vector exceeds payload");
+    return r->status();
+  }
+  fs.query_deferred.assign(nqd, 0);
+  for (int64_t& v : fs.query_deferred) v = r->I64();
+  uint64_t nqx = r->U64();
+  if (nqx > r->remaining()) {
+    r->Fail("checkpoint flow dropped-count vector exceeds payload");
+    return r->status();
+  }
+  fs.query_dropped.assign(nqx, 0);
+  for (int64_t& v : fs.query_dropped) v = r->I64();
+  if (!r->ok()) return r->status();
   // Replay the source to the checkpointed event point before restoring
   // consumer offsets against the regenerated base logs.
   if (ws_.last_point.num > 0) {
@@ -369,6 +532,15 @@ Status AdaptiveExecutor::Restore(recovery::CheckpointReader* r) {
   }
   ISHARE_RETURN_NOT_OK(RestoreEngineState(r, *source_, buffers_, executors_));
   RecomputePredictions();
+  // Base buffers were regenerated untrimmed by the source replay above;
+  // re-establish the boundary-trim invariant (everything below the min
+  // consumer offset reclaimed) so the physical state — and every later
+  // trim increment — matches the uninterrupted run. Not counted in
+  // FlowStats: the restored counters already cover these tuples.
+  if (opts_.flow.trim_at_boundaries) {
+    TrimEngineBuffers(*graph_, source_, buffers_);
+  }
+  PublishBaseBytes();
   ws_.active = true;
   return r->status();
 }
@@ -384,6 +556,12 @@ int64_t AdaptiveExecutor::ReplayBacklog() const {
   int64_t backlog = 0;
   for (const auto& ex : executors_) backlog += ex->PendingInput();
   return backlog;
+}
+
+int64_t AdaptiveExecutor::ConsumedInput() const {
+  int64_t consumed = 0;
+  for (const auto& ex : executors_) consumed += ex->ConsumedInput();
+  return consumed;
 }
 
 DeltaBuffer* AdaptiveExecutor::query_output(QueryId q) const {

@@ -23,6 +23,7 @@
 #include "ishare/cost/estimator.h"
 #include "ishare/exec/pace_executor.h"
 #include "ishare/exec/subplan_exec.h"
+#include "ishare/flow/memory_budget.h"
 #include "ishare/opt/pace_optimizer.h"
 #include "ishare/recovery/checkpointable.h"
 
@@ -53,6 +54,30 @@ struct AdaptivePolicy {
   bool enable_rederive = true;
   bool enable_degradation = true;
   bool enable_catchup = true;
+
+  // ---- Memory flow control (DESIGN.md §9) -------------------------------
+  // All of these are inert until ExecOptions::flow.budget is set.
+  //
+  // Budget pressure (used/budget) at which slack-ordered deferral starts.
+  // The deferral quota ramps linearly from 0 here to every sheddable
+  // subplan at pressure 1.0 (flow::ShedQuota), so a slacker subplan is
+  // always shed before a less-slack one.
+  double shed_pressure_start = 0.7;
+  // Defer scheduled intermediate executions of sheddable subplans under
+  // pressure. Pure deferral: the trigger still runs over all remaining
+  // input, so results are unchanged — only peak memory and latency move.
+  bool enable_shed_defer = true;
+  // At/over the hard budget, additionally *drop* pending input of the
+  // slackest subplans (with exact accounting in FlowStats) until usage
+  // fits. Off by default: drops trade result completeness of slack
+  // queries for the hard memory bound; zero-slack queries are never
+  // dropped from.
+  bool enable_shed_drop = false;
+  // Pressure at/above which the drop pass fires, and the level it drains
+  // back below. 1.0 = act only once the hard budget is breached; lower
+  // values leave headroom for the growth the upcoming executions will
+  // add before the next drop pass can run.
+  double drop_pressure_target = 1.0;
 };
 
 // What the adaptive layer did during one run.
@@ -67,9 +92,22 @@ struct AdaptationStats {
   std::vector<PaceConfig> pace_history;
 };
 
+// One hard-budget drop: which subplan's pending input was discarded, at
+// what slack. Reporting-only — not checkpointed and not part of the state
+// fingerprint (a recovered run's log covers only post-restore drops).
+struct ShedDropEvent {
+  int64_t step = 0;    // 1-based step whose drop pass emitted this
+  int subplan = 0;
+  double slack = 0;    // subplan slack at drop time (the ordering key)
+  int64_t tuples = 0;  // pending input discarded
+};
+
 struct AdaptiveRunResult {
   RunResult run;
   AdaptationStats stats;
+  // Flow-control ledger (empty counts when no budget was attached).
+  flow::FlowStats flow;
+  std::vector<ShedDropEvent> drop_log;
 };
 
 // Pace-schedule executor that keeps the paper's final-work goals when the
@@ -135,11 +173,26 @@ class AdaptiveExecutor : public recovery::Checkpointable {
   // right after Restore this is the recovery replay backlog.
   int64_t ReplayBacklog() const;
 
+  // Total leaf tuples the engine has taken responsibility for (consumed
+  // offsets across every subplan's leaves). The flow-accounting identity
+  // the overload harness checks is
+  //   ConsumedInput() == flow.admitted_tuples + flow.dropped_tuples.
+  int64_t ConsumedInput() const;
+
   // Output buffer of query q's root subplan (valid after Run()).
   DeltaBuffer* query_output(QueryId q) const;
   DeltaBuffer* subplan_output(int subplan) const {
     return buffers_[subplan].get();
   }
+
+  // Per-query time slackness under the current drift-corrected
+  // predictions (see QuerySlackFractions); the shedding policy's ranking
+  // signal. Valid after BeginWindow.
+  const std::vector<double>& query_slack() const { return slack_; }
+
+  // True when subplan s serves an at-risk query and is therefore exempt
+  // from degradation and shedding. Valid after BeginWindow.
+  bool subplan_protective(int s) const { return protective_[s]; }
 
  private:
   // Refreshes per-subplan work predictions and per-query risk flags for
@@ -147,6 +200,8 @@ class AdaptiveExecutor : public recovery::Checkpointable {
   void RecomputePredictions();
   void RebuildPoints(const Fraction& after);
   double DriftRatio() const;
+  void PublishBaseBytes();
+  Status ShedDropPass(const std::vector<int>& shed_order);
   Status StepOnce();
   AdaptiveRunResult FinishWindow();
   Status SnapshotImpl(recovery::CheckpointWriter* w,
@@ -166,6 +221,12 @@ class AdaptiveExecutor : public recovery::Checkpointable {
   std::vector<double> pred_nonfinal_;  // per-subplan avg intermediate work
   double pred_total_ = 0;              // whole-window work under paces_
   std::vector<bool> protective_;       // subplan serves an at-risk query
+  std::vector<double> slack_;          // per-query time slackness [0, 1]
+  std::vector<double> subplan_slack_;  // min slack over the served queries
+  std::vector<bool> sheddable_;        // == !protective_, the shed universe
+  // Aggregated base-buffer bytes component in opts_.flow.budget (-1 when
+  // no budget); see PaceExecutor::base_component_.
+  int base_component_ = -1;
 
   // Window state, all deterministic given the observed stream (the
   // *_seconds fields are reporting-only and never feed decisions).

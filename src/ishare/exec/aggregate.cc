@@ -305,4 +305,24 @@ Status AggregateOp::Restore(recovery::CheckpointReader* r) {
   return r->status();
 }
 
+int64_t AggregateOp::StateBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [key, g] : groups_) {
+    bytes += ApproxRowBytes(key) + ApproxRowBytes(g.key);
+    for (const QueryState& qs : g.per_query) {
+      bytes += static_cast<int64_t>(sizeof(QueryState)) +
+               ApproxRowBytes(qs.last_emitted);
+      for (const Accum& a : qs.accums) {
+        bytes += static_cast<int64_t>(sizeof(Accum));
+        for (const auto& [v, cnt] : a.values) {
+          bytes += ApproxValueBytes(v) + static_cast<int64_t>(sizeof(cnt));
+        }
+        if (a.extremum.has_value()) bytes += ApproxValueBytes(*a.extremum);
+      }
+    }
+  }
+  for (const Row& r : dirty_order_) bytes += ApproxRowBytes(r);
+  return bytes;
+}
+
 }  // namespace ishare

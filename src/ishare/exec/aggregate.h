@@ -45,6 +45,9 @@ class AggregateOp : public PhysOp {
 
   int64_t NumGroups() const { return static_cast<int64_t>(groups_.size()); }
 
+  // Approximate bytes of all group/accumulator state.
+  int64_t StateBytes() const override;
+
  private:
   struct Accum {
     double dsum = 0;

@@ -293,4 +293,27 @@ DeltaBatch HashJoinOp::ProcessSemiAnti(int child_idx, DeltaSpan in) {
   return out;
 }
 
+int64_t HashJoinOp::StateBytes() const {
+  int64_t bytes = 0;
+  auto side_bytes = [](const SideState& side) {
+    int64_t b = 0;
+    for (const auto& [key, bucket] : side) {
+      b += ApproxRowBytes(key);
+      for (const Entry& e : bucket) {
+        b += ApproxRowBytes(e.row) +
+             static_cast<int64_t>(e.counts.size() * sizeof(int64_t) +
+                                  sizeof(Entry));
+      }
+    }
+    return b;
+  };
+  bytes += side_bytes(left_state_);
+  bytes += side_bytes(right_state_);
+  for (const auto& [key, counts] : right_counts_) {
+    bytes += ApproxRowBytes(key) +
+             static_cast<int64_t>(counts.size() * sizeof(int64_t));
+  }
+  return bytes;
+}
+
 }  // namespace ishare

@@ -48,6 +48,9 @@ class HashJoinOp : public PhysOp {
   int64_t LeftStateSize() const { return left_entries_; }
   int64_t RightStateSize() const { return right_entries_; }
 
+  // Approximate bytes of both build sides plus semi/anti bookkeeping.
+  int64_t StateBytes() const override;
+
  private:
   struct Entry {
     Row row;

@@ -14,6 +14,10 @@
 
 namespace ishare {
 
+namespace flow {
+class MemoryBudget;
+}  // namespace flow
+
 // Work performed by one physical operator, in the paper's cost-model units
 // (Sec. 2.1: "the number of tuples processed by all operators"). We count
 //  - in:    tuples consumed from inputs,
@@ -54,6 +58,26 @@ struct ExecOptions {
   // buffers are retried under this policy with virtual exponential backoff
   // (DESIGN.md §8); permanent faults propagate on the first attempt.
   recovery::RetryPolicy retry;
+
+  // Flow control (DESIGN.md §9). All fields are inert until `budget` is
+  // set (bench_overload and the overload harness do; plain runs don't).
+  struct FlowOptions {
+    // Memory arbiter every buffer and executor registers with. Not owned;
+    // must outlive the executors. nullptr disables all flow control
+    // except boundary trimming.
+    flow::MemoryBudget* budget = nullptr;
+
+    // Per-buffer retention limit applied to subplan output buffers
+    // (0 = unlimited) and its backpressure watermarks; see BufferLimits.
+    int64_t buffer_soft_limit_bytes = 0;
+    double buffer_high_watermark = 1.0;
+    double buffer_low_watermark = 0.5;
+
+    // Reclaim fully-consumed buffer prefixes at every pace boundary.
+    // On by default: trimming is pure compaction, invisible to results.
+    bool trim_at_boundaries = true;
+  };
+  FlowOptions flow;
 };
 
 }  // namespace ishare

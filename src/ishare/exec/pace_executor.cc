@@ -146,6 +146,28 @@ Status RestoreEngineState(
   return r->status();
 }
 
+int64_t TrimEngineBuffers(
+    const SubplanGraph& graph, StreamSource* source,
+    const std::vector<std::unique_ptr<DeltaBuffer>>& buffers) {
+  std::vector<bool> is_root(buffers.size(), false);
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    int root = graph.query_root(q);
+    if (root >= 0 && root < static_cast<int>(buffers.size())) {
+      is_root[static_cast<size_t>(root)] = true;
+    }
+  }
+  int64_t reclaimed = 0;
+  for (size_t s = 0; s < buffers.size(); ++s) {
+    if (buffers[s] != nullptr && !is_root[s]) {
+      reclaimed += buffers[s]->TrimConsumed();
+    }
+  }
+  for (const std::string& name : source->TableNames()) {
+    reclaimed += source->buffer(name)->TrimConsumed();
+  }
+  return reclaimed;
+}
+
 PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
                            ExecOptions opts)
     : graph_(graph), source_(source), opts_(opts) {
@@ -161,10 +183,31 @@ PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
     const Subplan& sp = graph->subplan(i);
     buffers_[i] = std::make_unique<DeltaBuffer>(
         sp.root->output_schema, "subplan_" + std::to_string(i));
+    if (opts_.flow.budget != nullptr) {
+      BufferLimits limits;
+      limits.soft_limit_bytes = opts_.flow.buffer_soft_limit_bytes;
+      limits.high_watermark = opts_.flow.buffer_high_watermark;
+      limits.low_watermark = opts_.flow.buffer_low_watermark;
+      buffers_[i]->set_limits(limits);
+      buffers_[i]->AttachBudget(opts_.flow.budget);
+    }
     executors_[i] = std::make_unique<SubplanExecutor>(
         sp, source_, buffers_, buffers_[i].get(), opts_);
   }
   topo_ = graph->TopoChildrenFirst();
+  if (opts_.flow.budget != nullptr) {
+    base_component_ = opts_.flow.budget->Register("base");
+    PublishBaseBytes();
+  }
+}
+
+void PaceExecutor::PublishBaseBytes() {
+  if (base_component_ < 0) return;
+  int64_t bytes = 0;
+  for (const std::string& name : source_->TableNames()) {
+    bytes += source_->buffer(name)->retained_bytes();
+  }
+  opts_.flow.budget->Set(base_component_, bytes);
 }
 
 Status PaceExecutor::BeginWindow(const PaceConfig& paces) {
@@ -191,6 +234,7 @@ Status PaceExecutor::BeginWindow(const PaceConfig& paces) {
 Status PaceExecutor::StepOnce() {
   const Fraction& f = schedule_[next_step_];
   ISHARE_RETURN_NOT_OK(source_->AdvanceToStep(f.num, f.den));
+  PublishBaseBytes();
   bool is_trigger = (f.num == f.den);
   int64_t step = next_step_ + 1;  // 1-based step being executed
   for (int s : topo_) {
@@ -210,6 +254,10 @@ Status PaceExecutor::StepOnce() {
     }
     acc_.total_work += rec.work;
     acc_.total_seconds += rec.seconds;
+  }
+  if (opts_.flow.trim_at_boundaries) {
+    TrimEngineBuffers(*graph_, source_, buffers_);
+    PublishBaseBytes();
   }
   return Status::OK();
 }
@@ -296,6 +344,13 @@ Status PaceExecutor::Restore(recovery::CheckpointReader* r) {
     return r->status();
   }
   ISHARE_RETURN_NOT_OK(RestoreEngineState(r, *source_, buffers_, executors_));
+  // The source replay regenerated the base buffers untrimmed; re-apply
+  // the boundary-trim invariant so retained memory after recovery matches
+  // the uninterrupted run.
+  if (opts_.flow.trim_at_boundaries) {
+    TrimEngineBuffers(*graph_, source_, buffers_);
+    PublishBaseBytes();
+  }
   active_ = true;
   return r->status();
 }

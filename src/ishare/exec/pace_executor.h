@@ -82,6 +82,17 @@ Status RestoreEngineState(
     const std::vector<std::unique_ptr<DeltaBuffer>>& buffers,
     const std::vector<std::unique_ptr<SubplanExecutor>>& executors);
 
+// Reclaims fully-consumed prefixes of every trimmable engine buffer: all
+// base-relation buffers plus every subplan output buffer that is not a
+// query root. Roots never trim — they hold the query results that
+// MaterializeResult reads out-of-band, so no consumer offset proves
+// their tuples were seen. Returns the number of tuples reclaimed. Both
+// executors call this at pace boundaries when
+// ExecOptions::flow.trim_at_boundaries is set (DESIGN.md §9).
+int64_t TrimEngineBuffers(
+    const SubplanGraph& graph, StreamSource* source,
+    const std::vector<std::unique_ptr<DeltaBuffer>>& buffers);
+
 // Drives a SubplanGraph over a simulated trigger window. The executor owns
 // the subplan output buffers; query results remain available in the query
 // roots' buffers after Run().
@@ -148,6 +159,7 @@ class PaceExecutor : public recovery::Checkpointable {
   RunResult FinishWindow();
   Status SnapshotImpl(recovery::CheckpointWriter* w,
                       bool include_timings) const;
+  void PublishBaseBytes();
 
   const SubplanGraph* graph_;
   StreamSource* source_;
@@ -164,6 +176,11 @@ class PaceExecutor : public recovery::Checkpointable {
   bool active_ = false;
   StepHook after_step_;
   SubplanHook before_subplan_;
+  // Aggregated base-buffer bytes component in opts_.flow.budget (-1 when
+  // no budget). Base buffers belong to the shared source, so they are
+  // polled into one component rather than attached, keeping the source
+  // free of pointers into an executor-scoped arbiter.
+  int base_component_ = -1;
 };
 
 // Sums the weights of buffer tuples valid for query q; the result maps

@@ -44,6 +44,13 @@ class PhysOp {
   // Cumulative work performed by this operator since construction.
   const OpWork& work() const { return work_; }
 
+  // Approximate bytes of cross-execution state this operator holds (join
+  // build sides, aggregate groups), in the same deterministic accounting
+  // units as ApproxRowBytes. Stateless operators hold none. The flow
+  // layer's memory arbiter (DESIGN.md §9) charges these against the
+  // budget after every execution.
+  virtual int64_t StateBytes() const { return 0; }
+
   // Checkpoint hooks (DESIGN.md §8). The default covers stateless
   // operators, whose only cross-execution state is the work meter;
   // stateful operators (HashJoinOp, AggregateOp) override and must call

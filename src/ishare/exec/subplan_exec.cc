@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "ishare/flow/memory_budget.h"
 #include "ishare/obs/obs.h"
 
 namespace ishare {
@@ -25,6 +26,9 @@ SubplanExecutor::SubplanExecutor(
   tuples_out_counter_ = &reg.GetCounter("exec.subplan.tuples_out");
   subplan_work_counter_ =
       &reg.GetCounter("exec.subplan.work#" + output->name());
+  if (opts_.flow.budget != nullptr) {
+    state_component_ = opts_.flow.budget->Register("state:" + output->name());
+  }
 }
 
 SubplanExecutor::OpNode SubplanExecutor::BuildTree(const PlanNodePtr& node) {
@@ -149,6 +153,58 @@ int64_t SubplanExecutor::PendingInput() const {
   return pending;
 }
 
+void SubplanExecutor::CollectConsumed(const OpNode& n, int64_t* out) const {
+  if (n.input_buffer != nullptr) {
+    Result<int64_t> off = n.input_buffer->ConsumerOffset(n.consumer_id);
+    if (off.ok()) *out += *off;
+    return;
+  }
+  for (const OpNode& c : n.children) CollectConsumed(c, out);
+}
+
+int64_t SubplanExecutor::ConsumedInput() const {
+  int64_t consumed = 0;
+  CollectConsumed(root_, &consumed);
+  return consumed;
+}
+
+Status SubplanExecutor::DiscardNode(OpNode& n, int64_t* dropped) {
+  if (n.input_buffer != nullptr) {
+    ISHARE_ASSIGN_OR_RETURN(DeltaSpan raw, ConsumeLeafWithRetry(n));
+    *dropped += static_cast<int64_t>(raw.size());
+    return Status::OK();
+  }
+  for (OpNode& c : n.children) ISHARE_RETURN_NOT_OK(DiscardNode(c, dropped));
+  return Status::OK();
+}
+
+Result<int64_t> SubplanExecutor::DiscardPendingInput() {
+  ISHARE_RETURN_NOT_OK(init_status_);
+  int64_t dropped = 0;
+  ISHARE_RETURN_NOT_OK(DiscardNode(root_, &dropped));
+  if (dropped > 0) {
+    obs::Registry().GetCounter("flow.shed.dropped_tuples")
+        .Add(static_cast<double>(dropped));
+  }
+  return dropped;
+}
+
+int64_t SubplanExecutor::CollectStateBytes(const OpNode& n) const {
+  int64_t bytes = n.op->StateBytes();
+  for (const OpNode& c : n.children) bytes += CollectStateBytes(c);
+  return bytes;
+}
+
+int64_t SubplanExecutor::StateBytes() const {
+  return CollectStateBytes(root_);
+}
+
+void SubplanExecutor::PublishStateBytes() {
+  if (state_component_ >= 0) {
+    opts_.flow.budget->Set(state_component_, StateBytes());
+  }
+}
+
 Result<ExecRecord> SubplanExecutor::RunExecution() {
   ISHARE_RETURN_NOT_OK(init_status_);
   auto start = std::chrono::steady_clock::now();
@@ -159,6 +215,9 @@ Result<ExecRecord> SubplanExecutor::RunExecution() {
 
   ++executions_;
   last_input_consumed_ = tuples_in;
+  last_output_bytes_ = 0;
+  for (const DeltaTuple& t : out) last_output_bytes_ += ApproxDeltaBytes(t);
+  PublishStateBytes();
   double total = TotalOpWork(root_);
   ExecRecord rec;
   rec.work = (total - last_total_work_) + opts_.startup_cost;
@@ -192,6 +251,7 @@ Status SubplanExecutor::Snapshot(recovery::CheckpointWriter* w) const {
   ISHARE_RETURN_NOT_OK(init_status_);
   w->I64(executions_);
   w->I64(last_input_consumed_);
+  w->I64(last_output_bytes_);
   w->F64(last_total_work_);
   return SnapshotOps(root_, w);
 }
@@ -200,8 +260,12 @@ Status SubplanExecutor::Restore(recovery::CheckpointReader* r) {
   ISHARE_RETURN_NOT_OK(init_status_);
   executions_ = r->I64();
   last_input_consumed_ = r->I64();
+  last_output_bytes_ = r->I64();
   last_total_work_ = r->F64();
   ISHARE_RETURN_NOT_OK(RestoreOps(root_, r));
+  // The arbiter is not checkpointed (usage is a function of state): tell
+  // it about the restored operator state so it converges immediately.
+  PublishStateBytes();
   return r->status();
 }
 

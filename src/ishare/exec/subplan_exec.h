@@ -68,6 +68,27 @@ class SubplanExecutor {
   // first); the adaptive executor's backlog baseline.
   int64_t last_input_consumed() const { return last_input_consumed_; }
 
+  // ---- Flow control (DESIGN.md §9) --------------------------------------
+
+  // Total input deltas this executor has taken off its leaf buffers, by
+  // processing or by discarding — the "arrived" side of the shed
+  // accounting identity (arrived = admitted + dropped).
+  int64_t ConsumedInput() const;
+
+  // Load shedding: advances every leaf consumer past its pending input
+  // WITHOUT processing it, returning the number of tuples discarded. The
+  // discarded prefix becomes trimmable immediately. Only the flow layer
+  // calls this, and only for subplans whose every query has slack.
+  Result<int64_t> DiscardPendingInput();
+
+  // Approximate bytes of operator state (join build sides, aggregate
+  // groups) across the tree; see PhysOp::StateBytes.
+  int64_t StateBytes() const;
+
+  // Approximate bytes appended to the output buffer by the most recent
+  // execution — the flow layer's headroom ask for the next one.
+  int64_t last_output_bytes() const { return last_output_bytes_; }
+
   // Checkpoint hooks (DESIGN.md §8): execution counters plus every
   // operator's state, preorder over the tree. The consumer registrations
   // themselves are rebuilt by constructing the executor against the same
@@ -90,6 +111,10 @@ class SubplanExecutor {
   Result<DeltaSpan> ConsumeLeafWithRetry(OpNode& n);
   void CollectWork(const OpNode& n, std::vector<OpWork>* out) const;
   void CollectPending(const OpNode& n, int64_t* out) const;
+  void CollectConsumed(const OpNode& n, int64_t* out) const;
+  Status DiscardNode(OpNode& n, int64_t* dropped);
+  int64_t CollectStateBytes(const OpNode& n) const;
+  void PublishStateBytes();
   double TotalOpWork(const OpNode& n) const;
   Status SnapshotOps(const OpNode& n, recovery::CheckpointWriter* w) const;
   Status RestoreOps(OpNode& n, recovery::CheckpointReader* r);
@@ -102,7 +127,9 @@ class SubplanExecutor {
   Status init_status_;
   int64_t executions_ = 0;
   int64_t last_input_consumed_ = 0;
+  int64_t last_output_bytes_ = 0;
   double last_total_work_ = 0;
+  int state_component_ = -1;  // id in opts_.flow.budget, -1 if unattached
   // Observability handles (resolved once at construction; see DESIGN.md §7).
   obs::Counter* exec_counter_ = nullptr;
   obs::Counter* work_counter_ = nullptr;

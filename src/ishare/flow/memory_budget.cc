@@ -1,0 +1,63 @@
+#include "ishare/flow/memory_budget.h"
+
+#include <algorithm>
+
+#include "ishare/common/check.h"
+#include "ishare/obs/obs.h"
+
+namespace ishare::flow {
+
+int MemoryBudget::Register(std::string name) {
+  comps_.push_back(Component{std::move(name), 0, 0});
+  return static_cast<int>(comps_.size()) - 1;
+}
+
+void MemoryBudget::Set(int id, int64_t bytes) {
+  CHECK(id >= 0 && id < num_components()) << "bad component id " << id;
+  CHECK(bytes >= 0) << "negative bytes for " << comps_[id].name;
+  Component& c = comps_[static_cast<size_t>(id)];
+  used_ += bytes - c.bytes;
+  c.bytes = bytes;
+  c.peak = std::max(c.peak, bytes);
+  peak_ = std::max(peak_, used_);
+  Publish();
+}
+
+int64_t MemoryBudget::component_bytes(int id) const {
+  CHECK(id >= 0 && id < num_components()) << "bad component id " << id;
+  return comps_[static_cast<size_t>(id)].bytes;
+}
+
+int64_t MemoryBudget::component_peak(int id) const {
+  CHECK(id >= 0 && id < num_components()) << "bad component id " << id;
+  return comps_[static_cast<size_t>(id)].peak;
+}
+
+const std::string& MemoryBudget::component_name(int id) const {
+  CHECK(id >= 0 && id < num_components()) << "bad component id " << id;
+  return comps_[static_cast<size_t>(id)].name;
+}
+
+Status MemoryBudget::GrantHeadroom(int64_t bytes) const {
+  if (!limited() || used_ + bytes <= budget_bytes_) return Status::OK();
+  return Status::ResourceExhausted(
+      "memory budget exhausted: used " + std::to_string(used_) + " + ask " +
+      std::to_string(bytes) + " > budget " + std::to_string(budget_bytes_));
+}
+
+void MemoryBudget::ResetPeaks() {
+  peak_ = used_;
+  for (Component& c : comps_) c.peak = c.bytes;
+  Publish();
+}
+
+void MemoryBudget::Publish() {
+  obs::Registry().GetGauge("flow.budget.budget_bytes").Set(
+      static_cast<double>(budget_bytes_));
+  obs::Registry().GetGauge("flow.budget.used_bytes").Set(
+      static_cast<double>(used_));
+  obs::Registry().GetGauge("flow.budget.peak_bytes").Set(
+      static_cast<double>(peak_));
+}
+
+}  // namespace ishare::flow

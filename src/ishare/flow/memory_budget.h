@@ -1,0 +1,120 @@
+// ishare::flow — overload control for shared query execution
+// (DESIGN.md §9). The engine's buffers and operator state are in-memory
+// and, without intervention, grow with the burstiness of the input. This
+// module provides the accounting half of the defense: a MemoryBudget
+// arbiter that tracks bytes across every registered component (delta
+// buffers, join build sides, aggregate state) and answers headroom
+// queries, plus the FlowStats ledger the shedding policy fills in.
+//
+// The *policy* half — which subplan to defer or shed when the budget is
+// exceeded — lives with the AdaptiveExecutor, ranked by time slackness
+// (see shedding.h): queries whose predicted final work sits far below
+// their final-work constraint can absorb deferral first, so zero-slack
+// queries keep their deadlines.
+
+#ifndef ISHARE_FLOW_MEMORY_BUDGET_H_
+#define ISHARE_FLOW_MEMORY_BUDGET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ishare/common/status.h"
+
+namespace ishare::flow {
+
+// Tracks approximate bytes held by named components and arbitrates a
+// fixed budget between them. Single-threaded, like the executors it
+// serves. A budget of <= 0 means "track only": accounting and peaks are
+// maintained but nothing is ever over budget, which is how baseline runs
+// measure their working set.
+//
+// Deliberately NOT checkpointed: usage is a pure function of current
+// engine state, so after a restore every component re-publishes its
+// bytes and the arbiter converges to the same picture. Shedding
+// decisions therefore must key off used(), never peak().
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(int64_t budget_bytes = 0)
+      : budget_bytes_(budget_bytes) {}
+
+  // Registers a component (e.g. "buf:s3", "state:s3") and returns its
+  // id. Components publish absolute usage via Set(); absolute rather
+  // than deltas so a restore or recount self-heals any drift.
+  int Register(std::string name);
+
+  void Set(int id, int64_t bytes);
+  void Add(int id, int64_t delta) { Set(id, component_bytes(id) + delta); }
+
+  int64_t budget_bytes() const { return budget_bytes_; }
+  int64_t used() const { return used_; }
+  int64_t peak() const { return peak_; }
+  int num_components() const { return static_cast<int>(comps_.size()); }
+  int64_t component_bytes(int id) const;
+  int64_t component_peak(int id) const;
+  const std::string& component_name(int id) const;
+
+  bool limited() const { return budget_bytes_ > 0; }
+  bool OverBudget() const { return limited() && used_ > budget_bytes_; }
+
+  // Fraction of the budget in use; 0 when unlimited. May exceed 1.
+  double Pressure() const {
+    return limited() ? static_cast<double>(used_) /
+                           static_cast<double>(budget_bytes_)
+                     : 0.0;
+  }
+
+  // Headroom grant: OK when `bytes` more would still fit (or the budget
+  // is unlimited), kResourceExhausted otherwise. Advisory — the caller
+  // publishes actual usage via Set() after doing the work; a denial is
+  // the arbiter revoking headroom, which the shedding policy turns into
+  // a deferral instead of a blind retry.
+  Status GrantHeadroom(int64_t bytes) const;
+
+  // Resets peak tracking (global and per-component) to current usage.
+  // Used between measurement phases of the overload harness.
+  void ResetPeaks();
+
+ private:
+  struct Component {
+    std::string name;
+    int64_t bytes = 0;
+    int64_t peak = 0;
+  };
+
+  void Publish();
+
+  int64_t budget_bytes_;
+  int64_t used_ = 0;
+  int64_t peak_ = 0;
+  std::vector<Component> comps_;
+};
+
+// Ledger of flow-control activity over one run. Lives in the
+// AdaptiveExecutor's run result; serialized with the window state so a
+// crash-recovered run reports the same totals as an uninterrupted one.
+// The accounting invariant the overload bench gates on:
+//   arrived == admitted + dropped   (per leaf-consumed tuple)
+struct FlowStats {
+  int64_t admitted_tuples = 0;   // leaf tuples processed by executions
+  int64_t dropped_tuples = 0;    // leaf tuples discarded by shedding
+  int64_t shed_deferred = 0;     // scheduled executions deferred by shedding
+  int64_t backpressure_events = 0;  // headroom denials + buffer watermarks
+  int64_t trims = 0;             // TrimConsumed calls that removed tuples
+  int64_t trimmed_tuples = 0;
+  // Per-query attribution of shedding (indexed by QueryId).
+  std::vector<int64_t> query_deferred;
+  std::vector<int64_t> query_dropped;
+
+  int64_t shed_total(int q) const {
+    int64_t d = q < static_cast<int>(query_deferred.size())
+                    ? query_deferred[static_cast<size_t>(q)] : 0;
+    int64_t p = q < static_cast<int>(query_dropped.size())
+                    ? query_dropped[static_cast<size_t>(q)] : 0;
+    return d + p;
+  }
+};
+
+}  // namespace ishare::flow
+
+#endif  // ISHARE_FLOW_MEMORY_BUDGET_H_

@@ -1,0 +1,36 @@
+#include "ishare/flow/shedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ishare/common/check.h"
+
+namespace ishare::flow {
+
+std::vector<int> ShedOrder(const std::vector<double>& subplan_slack,
+                           const std::vector<bool>& sheddable) {
+  CHECK(subplan_slack.size() == sheddable.size());
+  std::vector<int> order;
+  for (size_t s = 0; s < sheddable.size(); ++s) {
+    if (sheddable[s]) order.push_back(static_cast<int>(s));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return subplan_slack[static_cast<size_t>(a)] >
+           subplan_slack[static_cast<size_t>(b)];
+  });
+  return order;
+}
+
+int ShedQuota(double pressure, double start, int n_sheddable) {
+  if (n_sheddable <= 0) return 0;
+  if (start <= 0.0 || start >= 1.0) {
+    return pressure >= 1.0 ? n_sheddable : 0;
+  }
+  if (pressure < start) return 0;
+  if (pressure >= 1.0) return n_sheddable;
+  double excess = (pressure - start) / (1.0 - start);
+  int quota = static_cast<int>(std::ceil(excess * n_sheddable));
+  return std::min(std::max(quota, 0), n_sheddable);
+}
+
+}  // namespace ishare::flow

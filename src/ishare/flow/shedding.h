@@ -1,0 +1,37 @@
+// Slackness-aware shedding policy helpers (DESIGN.md §9). Pure
+// functions, so the ordering and quota logic are unit-testable apart
+// from the executor that applies them.
+//
+// Ranking principle (from the paper's time-slackness model): a query's
+// slack is the fractional headroom of its predicted final work under its
+// absolute final-work constraint. A subplan inherits the *minimum* slack
+// of the queries it serves — shedding it delays all of them, so it is
+// only as expendable as its most constrained query. When memory pressure
+// forces shedding, the policy takes subplans in descending slack order:
+// the work it defers or drops is the work with the most room to be late.
+
+#ifndef ISHARE_FLOW_SHEDDING_H_
+#define ISHARE_FLOW_SHEDDING_H_
+
+#include <vector>
+
+namespace ishare::flow {
+
+// Returns the sheddable subplan ids sorted by descending slack (ties
+// broken by ascending id, so the order is deterministic). Subplans with
+// sheddable[s] == false — protective subplans, query roots, subplans
+// serving an at-risk query — never appear.
+std::vector<int> ShedOrder(const std::vector<double>& subplan_slack,
+                           const std::vector<bool>& sheddable);
+
+// Pressure-proportional shed quota: how many subplans from the front of
+// the ranked order to shed this step. Ramps linearly from 0 at
+// `pressure == start` to all `n_sheddable` at `pressure >= 1`, so a
+// slacker subplan is shed whenever any less-slack one is (the prefix
+// property the overload bench gates on). `start` outside (0, 1) degrades
+// to all-or-nothing at pressure >= 1.
+int ShedQuota(double pressure, double start, int n_sheddable);
+
+}  // namespace ishare::flow
+
+#endif  // ISHARE_FLOW_SHEDDING_H_

@@ -134,6 +134,12 @@ double CounterOr0(const obs::MetricsSnapshot& metrics,
   return it == metrics.counters.end() ? 0.0 : it->second;
 }
 
+double GaugeOr0(const obs::MetricsSnapshot& metrics,
+                const std::string& name) {
+  auto it = metrics.gauges.find(name);
+  return it == metrics.gauges.end() ? 0.0 : it->second;
+}
+
 }  // namespace
 
 std::string BenchReportJson(
@@ -144,7 +150,8 @@ std::string BenchReportJson(
   w.BeginObject();
   w.Key("schema_version");
   // v2: added the top-level "recovery" block (DESIGN.md §8).
-  w.Int(2);
+  // v3: added the top-level "flow" overload-control block (DESIGN.md §9).
+  w.Int(3);
   w.Key("generator");
   w.String("ishare");
   w.Key("bench");
@@ -190,6 +197,30 @@ std::string BenchReportJson(
   SafeNumber(w, CounterOr0(metrics, "recovery.retry.exhausted"));
   w.Key("retry_backoff_seconds");
   SafeNumber(w, CounterOr0(metrics, "recovery.retry.backoff_seconds"));
+  w.EndObject();
+
+  // Overload-control rollup, from the flow.* metrics (DESIGN.md §9). All
+  // zeros for benches that never attach a MemoryBudget — kept
+  // unconditionally, like "recovery", so the schema is stable.
+  w.Key("flow");
+  w.BeginObject();
+  w.Key("budget_bytes");
+  SafeNumber(w, GaugeOr0(metrics, "flow.budget.budget_bytes"));
+  w.Key("used_bytes");
+  SafeNumber(w, GaugeOr0(metrics, "flow.budget.used_bytes"));
+  w.Key("peak_bytes");
+  SafeNumber(w, GaugeOr0(metrics, "flow.budget.peak_bytes"));
+  w.Key("trims");
+  SafeNumber(w, CounterOr0(metrics, "flow.trim.count"));
+  w.Key("trimmed_tuples");
+  SafeNumber(w, CounterOr0(metrics, "flow.trim.tuples"));
+  w.Key("shed_deferred_execs");
+  SafeNumber(w, CounterOr0(metrics, "flow.shed.deferred"));
+  w.Key("shed_dropped_tuples");
+  SafeNumber(w, CounterOr0(metrics, "flow.shed.dropped_tuples"));
+  w.Key("backpressure_events");
+  SafeNumber(w, CounterOr0(metrics, "flow.backpressure.buffer_events") +
+                    CounterOr0(metrics, "flow.backpressure.defer"));
   w.EndObject();
 
   w.Key("metrics");

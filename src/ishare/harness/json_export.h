@@ -4,10 +4,11 @@
 // `--json=<path>` so reproduction runs are machine-checkable instead of
 // text-table-scrape-only.
 //
-// Schema (version 2, stable key order — see the golden file under
-// tests/golden/; v2 added the "recovery" block, DESIGN.md §8):
+// Schema (version 3, stable key order — see the golden file under
+// tests/golden/; v2 added the "recovery" block, DESIGN.md §8; v3 added
+// the "flow" overload-control block, DESIGN.md §9):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "generator": "ishare",
 //     "bench": "<binary name>",
 //     "config": {"sf": ..., "max_pace": ..., "seed": ..., "quick": ...},
@@ -17,6 +18,10 @@
 //                  "replayed_deltas": ..., "retry_attempts": ...,
 //                  "retry_success": ..., "retry_exhausted": ...,
 //                  "retry_backoff_seconds": ...},
+//     "flow": {"budget_bytes": ..., "used_bytes": ..., "peak_bytes": ...,
+//              "trims": ..., "trimmed_tuples": ...,
+//              "shed_deferred_execs": ..., "shed_dropped_tuples": ...,
+//              "backpressure_events": ...},
 //     "metrics": {"counters": {...}, "gauges": {...},
 //                 "histograms": {name: {count, dropped, sum,
 //                                       p50, p95, p99,

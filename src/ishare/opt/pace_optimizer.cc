@@ -176,4 +176,19 @@ PaceSearchResult PaceOptimizer::RefineDecreasing(const PaceConfig& initial) {
   return res;
 }
 
+std::vector<double> QuerySlackFractions(const PlanCost& cost,
+                                        const std::vector<double>& constraints,
+                                        double drift_ratio) {
+  size_t n = std::min(cost.query_final_work.size(), constraints.size());
+  std::vector<double> slack(constraints.size(), 0.0);
+  for (size_t q = 0; q < n; ++q) {
+    double l = constraints[q];
+    if (l <= 0) continue;  // no headroom by definition
+    double predicted = drift_ratio * cost.query_final_work[q];
+    double s = (l - predicted) / l;
+    slack[q] = std::min(std::max(s, 0.0), 1.0);
+  }
+  return slack;
+}
+
 }  // namespace ishare

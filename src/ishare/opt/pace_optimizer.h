@@ -25,6 +25,21 @@ double PaceBenefit(const PlanCost& eager, const PlanCost& lazy,
 double Incrementability(const PlanCost& eager, const PlanCost& lazy,
                         const std::vector<double>& constraints);
 
+// Time slackness per query (DESIGN.md §9): the fractional headroom of
+// the predicted final work under the query's absolute final-work
+// constraint L(q),
+//   slack(q) = clamp((L(q) - drift_ratio * C_F(P, q)) / L(q), 0, 1).
+// `drift_ratio` scales predictions by the measured/estimated work ratio
+// the adaptive runtime maintains (1.0 when no drift is observed). A
+// query at or over its constraint has slack 0; a query whose predicted
+// final work is negligible approaches slack 1. A non-positive constraint
+// means "no headroom ever" and yields slack 0 — such queries must never
+// be shed against. This is the ranking signal of the slackness-aware
+// shedding policy (flow::ShedOrder).
+std::vector<double> QuerySlackFractions(const PlanCost& cost,
+                                        const std::vector<double>& constraints,
+                                        double drift_ratio);
+
 struct PaceOptimizerOptions {
   int max_pace = 100;  // J
   // Wall-clock budget for one search; 0 means unlimited. Searches that

@@ -27,7 +27,9 @@
 
 namespace ishare::recovery {
 
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+// Version history: 1 = initial layout; 2 = DeltaBuffer payloads gained a
+// leading trim base offset (bounded buffers, DESIGN.md §9).
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
 inline constexpr std::string_view kCheckpointMagic = "ISHCKPT1";
 
 // FNV-1a 64-bit hash; simple, dependency-free, and plenty for detecting

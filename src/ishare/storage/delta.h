@@ -34,6 +34,14 @@ struct DeltaTuple {
 
 using DeltaBatch = std::vector<DeltaTuple>;
 
+// Deterministic approximate footprint of one delta tuple (see
+// ApproxRowBytes): the accounting unit of the flow-control layer's
+// memory budget.
+inline int64_t ApproxDeltaBytes(const DeltaTuple& t) {
+  return static_cast<int64_t>(sizeof(DeltaTuple) - sizeof(Row)) +
+         ApproxRowBytes(t.row);
+}
+
 // Non-owning, read-only view over a contiguous run of delta tuples. This is
 // what the zero-copy consume path of DeltaBuffer hands out: the view stays
 // valid until the underlying buffer is appended to or reset, which the

@@ -8,11 +8,25 @@
 
 #include "ishare/common/check.h"
 #include "ishare/common/status.h"
+#include "ishare/flow/memory_budget.h"
+#include "ishare/obs/obs.h"
 #include "ishare/recovery/serializer.h"
 #include "ishare/storage/delta.h"
 #include "ishare/types/schema.h"
 
 namespace ishare {
+
+// Retention/capacity limits for a bounded buffer (DESIGN.md §9). A soft
+// limit of 0 means unlimited. The watermarks give the backpressure signal
+// hysteresis: AdmitStatus() starts returning kResourceExhausted once
+// retained bytes reach high_watermark * soft_limit_bytes and keeps
+// returning it until they drain to low_watermark * soft_limit_bytes, so a
+// buffer hovering at the limit does not flap between admit and refuse.
+struct BufferLimits {
+  int64_t soft_limit_bytes = 0;
+  double high_watermark = 1.0;
+  double low_watermark = 0.5;
+};
 
 // Append-only log of delta tuples with independent consumer offsets.
 //
@@ -20,6 +34,14 @@ namespace ishare {
 // root has two or more parent subplans materializes its output here, and
 // each parent pulls new tuples at its own pace (Sec. 2.2). Base relations
 // are buffers of the same kind fed by the StreamSource.
+//
+// Offsets are *logical* positions in the append order and never move
+// backwards. The physical log, however, is bounded: TrimConsumed()
+// reclaims the prefix every registered consumer has already read,
+// rebasing physical indices by `trimmed()`. size() keeps counting all
+// tuples ever appended, so offset arithmetic is trim-oblivious; log()
+// exposes only the retained suffix, and any DeltaSpan handed out earlier
+// is invalidated by a trim just as by an append or reset.
 //
 // Runtime-facing entry points (the Consume* family and the offset
 // accessors) are part of the recoverable error spine: malformed-but-
@@ -39,12 +61,25 @@ class DeltaBuffer {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  // Total tuples ever appended.
-  int64_t size() const { return static_cast<int64_t>(log_.size()); }
+  // Total tuples ever appended (logical size; includes trimmed tuples).
+  int64_t size() const {
+    return base_offset_ + static_cast<int64_t>(log_.size());
+  }
+  // Tuples physically retained / already reclaimed by TrimConsumed().
+  int64_t retained_size() const { return static_cast<int64_t>(log_.size()); }
+  int64_t trimmed() const { return base_offset_; }
+  // Approximate bytes held by the retained log (see ApproxDeltaBytes).
+  int64_t retained_bytes() const { return retained_bytes_; }
 
-  void Append(DeltaTuple t) { log_.push_back(std::move(t)); }
+  void Append(DeltaTuple t) {
+    retained_bytes_ += ApproxDeltaBytes(t);
+    log_.push_back(std::move(t));
+    PublishBytes();
+  }
   void AppendBatch(const DeltaBatch& batch) {
+    for (const DeltaTuple& t : batch) retained_bytes_ += ApproxDeltaBytes(t);
     log_.insert(log_.end(), batch.begin(), batch.end());
+    PublishBytes();
   }
 
   // Registers a new consumer starting at offset 0; returns its id.
@@ -69,7 +104,7 @@ class DeltaBuffer {
 
   // Reads all tuples newer than the consumer's offset and advances it.
   // The returned view aliases the log: it stays valid until the next
-  // Append/AppendBatch/Reset and costs no allocation or copy.
+  // Append/AppendBatch/Reset/TrimConsumed and costs no allocation or copy.
   Result<DeltaSpan> ConsumeNew(int consumer) {
     return ConsumeUpTo(consumer, size());
   }
@@ -85,10 +120,69 @@ class DeltaBuffer {
     int64_t from = offsets_[consumer];
     int64_t to = std::min(size(), from + limit);
     offsets_[consumer] = to;
-    return DeltaSpan(log_.data() + from, static_cast<size_t>(to - from));
+    // A registered consumer's offset can never fall behind the trim point:
+    // TrimConsumed only reclaims below the minimum offset.
+    CHECK(from >= base_offset_)
+        << "consumer offset " << from << " below trim point " << base_offset_
+        << " on buffer '" << name_ << "'";
+    return DeltaSpan(log_.data() + (from - base_offset_),
+                     static_cast<size_t>(to - from));
   }
 
+  // The retained suffix of the log: physical index i holds the tuple at
+  // logical offset trimmed() + i.
   const std::vector<DeltaTuple>& log() const { return log_; }
+
+  // ---- Bounded retention (DESIGN.md §9) ---------------------------------
+
+  // Reclaims the prefix of the log that every registered consumer has
+  // already read, rebasing physical indices. A buffer with no consumers
+  // never trims (nothing proves the data was seen — query roots are read
+  // out-of-band by MaterializeResult). Returns the number of tuples
+  // reclaimed.
+  int64_t TrimConsumed() {
+    if (offsets_.empty() || log_.empty()) return 0;
+    int64_t min_off = offsets_[0];
+    for (int64_t off : offsets_) min_off = std::min(min_off, off);
+    int64_t n = min_off - base_offset_;
+    if (n <= 0) return 0;
+    for (int64_t i = 0; i < n; ++i) {
+      retained_bytes_ -= ApproxDeltaBytes(log_[static_cast<size_t>(i)]);
+    }
+    log_.erase(log_.begin(), log_.begin() + n);
+    base_offset_ = min_off;
+    obs::Registry().GetCounter("flow.trim.count").Add(1);
+    obs::Registry().GetCounter("flow.trim.tuples").Add(static_cast<double>(n));
+    PublishBytes();
+    return n;
+  }
+
+  void set_limits(BufferLimits limits) {
+    limits_ = limits;
+    PublishBytes();
+  }
+  const BufferLimits& limits() const { return limits_; }
+
+  // Backpressure signal: kResourceExhausted while the buffer sits above
+  // its high watermark (with hysteresis down to the low watermark). The
+  // producer side is expected to route this to the shedding policy, not
+  // to a retry loop — see Status::IsRetryableBackpressure().
+  Status AdmitStatus() const {
+    if (!backpressured_) return Status::OK();
+    return Status::ResourceExhausted(
+        "buffer '" + name_ + "' over high watermark: " +
+        std::to_string(retained_bytes_) + " bytes retained, soft limit " +
+        std::to_string(limits_.soft_limit_bytes));
+  }
+
+  // Registers this buffer with the memory arbiter under "buf:<name>" and
+  // starts publishing retained bytes to it.
+  void AttachBudget(flow::MemoryBudget* budget) {
+    budget_ = budget;
+    budget_component_ =
+        budget_ == nullptr ? -1 : budget_->Register("buf:" + name_);
+    PublishBytes();
+  }
 
   // Drops all tuples, resets every consumer offset to zero, AND disarms
   // any injected fault: a reset buffer is fresh in every respect. (A
@@ -96,8 +190,12 @@ class DeltaBuffer {
   // harness reuse; tests pin the new contract.)
   void Reset() {
     log_.clear();
+    base_offset_ = 0;
+    retained_bytes_ = 0;
+    backpressured_ = false;
     std::fill(offsets_.begin(), offsets_.end(), 0);
     ClearFault();
+    PublishBytes();
   }
 
   // Fault injection: subsequent consumes return `st` until ClearFault().
@@ -123,10 +221,14 @@ class DeltaBuffer {
 
   // ---- Checkpoint support (DESIGN.md §8) --------------------------------
 
-  // Full state: log contents + consumer offsets. Schema/name/faults are
-  // construction-time or test-only state and are deliberately excluded —
-  // recovery rebuilds buffers from the same plan, then restores into them.
+  // Full state: trim base + retained log contents + consumer offsets.
+  // Schema/name/faults are construction-time or test-only state and are
+  // deliberately excluded — recovery rebuilds buffers from the same plan,
+  // then restores into them. Limits and budget attachment are likewise
+  // reapplied by the executor that owns the buffer. (The base offset made
+  // this layout kCheckpointFormatVersion 2.)
   void Snapshot(recovery::CheckpointWriter* w) const {
+    w->I64(base_offset_);
     w->U64(log_.size());
     for (const DeltaTuple& t : log_) {
       recovery::WriteRow(w, t.row);
@@ -137,20 +239,31 @@ class DeltaBuffer {
   }
 
   Status Restore(recovery::CheckpointReader* r) {
+    int64_t base = r->I64();
     uint64_t n = r->U64();
+    if (!r->ok()) return r->status();
+    if (base < 0) {
+      r->Fail("negative trim base " + std::to_string(base) + " on buffer '" +
+              name_ + "'");
+      return r->status();
+    }
     if (n > r->remaining()) {
       r->Fail("delta log length " + std::to_string(n) + " exceeds payload");
       return r->status();
     }
+    base_offset_ = base;
     log_.clear();
     log_.reserve(n);
+    retained_bytes_ = 0;
     for (uint64_t i = 0; i < n && r->ok(); ++i) {
       DeltaTuple t;
       t.row = recovery::ReadRow(r);
       t.qset = recovery::ReadQuerySet(r);
       t.weight = static_cast<int32_t>(r->I64());
+      retained_bytes_ += ApproxDeltaBytes(t);
       log_.push_back(std::move(t));
     }
+    PublishBytes();
     return RestoreOffsets(r);
   }
 
@@ -173,9 +286,11 @@ class DeltaBuffer {
     }
     for (size_t i = 0; i < offsets_.size(); ++i) {
       int64_t off = r->I64();
-      if (off < 0 || off > size()) {
-        r->Fail("consumer offset " + std::to_string(off) +
-                " out of range [0, " + std::to_string(size()) +
+      // Offsets are logical: the valid range starts at the trim point, not
+      // zero, because tuples below it no longer exist to be re-read.
+      if (off < base_offset_ || off > size()) {
+        r->Fail("consumer offset " + std::to_string(off) + " out of range [" +
+                std::to_string(base_offset_) + ", " + std::to_string(size()) +
                 "] on buffer '" + name_ + "'");
         return r->status();
       }
@@ -203,10 +318,34 @@ class DeltaBuffer {
     return CheckConsumerId(consumer);
   }
 
+  // Re-evaluates the watermark state and pushes retained bytes to the
+  // attached budget. Called after every mutation of the retained log.
+  void PublishBytes() {
+    if (limits_.soft_limit_bytes > 0) {
+      double soft = static_cast<double>(limits_.soft_limit_bytes);
+      double bytes = static_cast<double>(retained_bytes_);
+      if (!backpressured_ && bytes >= limits_.high_watermark * soft) {
+        backpressured_ = true;
+        obs::Registry().GetCounter("flow.backpressure.buffer_events").Add(1);
+      } else if (backpressured_ && bytes <= limits_.low_watermark * soft) {
+        backpressured_ = false;
+      }
+    } else {
+      backpressured_ = false;
+    }
+    if (budget_ != nullptr) budget_->Set(budget_component_, retained_bytes_);
+  }
+
   Schema schema_;
   std::string name_;
   std::vector<DeltaTuple> log_;
   std::vector<int64_t> offsets_;
+  int64_t base_offset_ = 0;     // logical offset of log_[0]
+  int64_t retained_bytes_ = 0;  // ApproxDeltaBytes sum over log_
+  BufferLimits limits_;
+  bool backpressured_ = false;
+  flow::MemoryBudget* budget_ = nullptr;
+  int budget_component_ = -1;
   Status fault_;
   int64_t fault_remaining_ = -1;
 };

@@ -113,6 +113,24 @@ uint64_t HashRowColumns(const Row& row, const std::vector<int>& cols);
 // Extracts the given columns into a new row (used for key extraction).
 Row ExtractColumns(const Row& row, const std::vector<int>& cols);
 
+// Deterministic approximate heap footprint of a value / row, used by the
+// flow-control layer for memory accounting (DESIGN.md §9). Uses logical
+// sizes (string length, element count), never container capacity, so two
+// runs that hold the same data report the same bytes regardless of
+// allocator growth history. Small strings are still charged their length:
+// the estimate is a stable accounting unit, not an allocator model.
+inline int64_t ApproxValueBytes(const Value& v) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Value));
+  if (v.is_string()) bytes += static_cast<int64_t>(v.AsString().size());
+  return bytes;
+}
+
+inline int64_t ApproxRowBytes(const Row& row) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Row));
+  for (const Value& v : row) bytes += ApproxValueBytes(v);
+  return bytes;
+}
+
 struct RowHasher {
   size_t operator()(const Row& r) const { return HashRow(r); }
 };

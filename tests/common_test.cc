@@ -82,6 +82,28 @@ TEST(StatusTest, TransientTaxonomy) {
 TEST(StatusTest, NewCodesHaveNames) {
   EXPECT_EQ(Status::Unavailable("s down").ToString(), "Unavailable: s down");
   EXPECT_EQ(Status::DataLoss("torn").ToString(), "DataLoss: torn");
+  EXPECT_EQ(Status::ResourceExhausted("buffer full").ToString(),
+            "ResourceExhausted: buffer full");
+}
+
+TEST(StatusTest, BackpressureTaxonomy) {
+  // Backpressure (DESIGN.md §9) is deliberately disjoint from the
+  // transient taxonomy: kResourceExhausted means "shed or defer", never
+  // "retry against the storage-fault budget" — blind retries against a
+  // full buffer would burn the recovery layer's attempts on a condition
+  // that only draining can clear.
+  Status bp = Status::ResourceExhausted("over high watermark");
+  EXPECT_EQ(bp.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(bp.IsRetryableBackpressure());
+  EXPECT_FALSE(bp.IsTransient());
+  EXPECT_FALSE(StatusCodeIsTransient(StatusCode::kResourceExhausted));
+
+  // No other code is backpressure.
+  EXPECT_FALSE(Status::OK().IsRetryableBackpressure());
+  EXPECT_FALSE(Status::Unavailable("x").IsRetryableBackpressure());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsRetryableBackpressure());
+  EXPECT_FALSE(Status::Internal("x").IsRetryableBackpressure());
+  EXPECT_FALSE(Status::DataLoss("x").IsRetryableBackpressure());
 }
 
 TEST(StatusTest, ResultHoldsValue) {

@@ -126,16 +126,17 @@ TEST(JsonExportGoldenTest, GoldenDocumentParsesBack) {
   ASSERT_TRUE(obs::ParseJson(GoldenDocument(), &v, &err)) << err;
   ASSERT_EQ(v.kind, obs::JsonValue::Kind::kObject);
   // Top-level key order is part of the schema contract.
-  ASSERT_GE(v.obj.size(), 7u);
+  ASSERT_GE(v.obj.size(), 8u);
   EXPECT_EQ(v.obj[0].first, "schema_version");
   EXPECT_EQ(v.obj[1].first, "generator");
   EXPECT_EQ(v.obj[2].first, "bench");
   EXPECT_EQ(v.obj[3].first, "config");
   EXPECT_EQ(v.obj[4].first, "results");
   EXPECT_EQ(v.obj[5].first, "recovery");
-  EXPECT_EQ(v.obj[6].first, "metrics");
-  EXPECT_EQ(v.obj[7].first, "spans");
-  EXPECT_DOUBLE_EQ(v.Find("schema_version")->num, 2.0);
+  EXPECT_EQ(v.obj[6].first, "flow");
+  EXPECT_EQ(v.obj[7].first, "metrics");
+  EXPECT_EQ(v.obj[8].first, "spans");
+  EXPECT_DOUBLE_EQ(v.Find("schema_version")->num, 3.0);
 
   // The recovery rollup is present (all zeros here: the hand-crafted
   // snapshot has no recovery.* counters) with a stable key set.
@@ -145,6 +146,20 @@ TEST(JsonExportGoldenTest, GoldenDocumentParsesBack) {
   EXPECT_EQ(rec->obj[0].first, "checkpoints");
   EXPECT_EQ(rec->obj[8].first, "retry_backoff_seconds");
   EXPECT_DOUBLE_EQ(rec->Find("checkpoints")->num, 0.0);
+
+  // v3: the flow overload-control rollup, same always-present contract.
+  const obs::JsonValue* flow = v.Find("flow");
+  ASSERT_NE(flow, nullptr);
+  ASSERT_EQ(flow->obj.size(), 8u);
+  EXPECT_EQ(flow->obj[0].first, "budget_bytes");
+  EXPECT_EQ(flow->obj[1].first, "used_bytes");
+  EXPECT_EQ(flow->obj[2].first, "peak_bytes");
+  EXPECT_EQ(flow->obj[3].first, "trims");
+  EXPECT_EQ(flow->obj[4].first, "trimmed_tuples");
+  EXPECT_EQ(flow->obj[5].first, "shed_deferred_execs");
+  EXPECT_EQ(flow->obj[6].first, "shed_dropped_tuples");
+  EXPECT_EQ(flow->obj[7].first, "backpressure_events");
+  EXPECT_DOUBLE_EQ(flow->Find("budget_bytes")->num, 0.0);
 }
 
 TEST(JsonExportTest, RealExperimentExportRoundTrips) {
