@@ -1,0 +1,90 @@
+// Parallel scaling of the wave scheduler (DESIGN.md §10): the iShare
+// approach on all 22 TPC-H queries, executed at 1/2/4/8 worker threads.
+// Two gates:
+//   - determinism (always): total_work and per-query final_work must be
+//     bit-identical across every thread count;
+//   - speedup (only on machines with >= 4 hardware threads, and not under
+//     --quick): the 4-thread run must be >= 1.8x faster than the serial
+//     run. Single-core CI boxes still run the bench for the determinism
+//     gate and the JSON export; the timing rows are just not meaningful
+//     there.
+
+#include <thread>
+
+#include "bench_util.h"
+
+namespace ishare {
+namespace {
+
+constexpr double kRequiredSpeedupAt4 = 1.8;
+
+int Main(int argc, char** argv) {
+  BenchConfig cfg = BenchConfig::Parse(argc, argv);
+  PrintHeader("Parallel scaling — iShare, 22 TPC-H queries", cfg);
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("# hardware_concurrency=%u\n", hw);
+
+  TpchDb db(TpchScale{cfg.sf, cfg.seed});
+  std::vector<QueryPlan> queries = AllTpchQueries(db.catalog);
+  const std::vector<double> rel(queries.size(), 0.2);
+  const std::vector<int> kThreads = {1, 2, 4, 8};
+
+  std::vector<ExperimentResult> all;
+  std::vector<double> seconds;
+  std::printf("\n== execution time by worker threads ==\n");
+  TextTable t({"threads", "total_exec_s", "speedup", "total_work"});
+  for (int n : kThreads) {
+    BenchConfig run_cfg = cfg;
+    run_cfg.threads = n;
+    Experiment ex(&db.catalog, &db.source, queries, rel,
+                  run_cfg.MakeOptions());
+    ExperimentResult r = ex.Run(Approach::kIShare);
+    seconds.push_back(r.total_seconds);
+    t.AddRow({TextTable::Num(n, 0), TextTable::Num(r.total_seconds, 3),
+              TextTable::Num(seconds.front() / r.total_seconds, 2),
+              TextTable::Num(r.total_work, 0)});
+    all.push_back(std::move(r));
+  }
+  t.Print();
+
+  // Determinism gate: the scheduler promises bit-exact results, so every
+  // deterministic aggregate must match the serial run exactly.
+  for (size_t i = 1; i < all.size(); ++i) {
+    if (all[i].total_work != all[0].total_work ||
+        all[i].queries.size() != all[0].queries.size()) {
+      std::fprintf(stderr, "FAIL: %d-thread run diverged from serial\n",
+                   kThreads[i]);
+      return 1;
+    }
+    for (size_t q = 0; q < all[0].queries.size(); ++q) {
+      if (all[i].queries[q].final_work != all[0].queries[q].final_work) {
+        std::fprintf(stderr,
+                     "FAIL: %d-thread final_work diverged on %s\n",
+                     kThreads[i], all[0].queries[q].name.c_str());
+        return 1;
+      }
+    }
+  }
+  std::printf("# determinism gate passed (all thread counts bit-identical)\n");
+
+  // Speedup gate: only meaningful with real cores to scale onto.
+  if (hw >= 4 && !cfg.quick) {
+    double speedup = seconds[0] / seconds[2];  // kThreads[2] == 4
+    if (speedup < kRequiredSpeedupAt4) {
+      std::fprintf(stderr, "FAIL: 4-thread speedup %.2fx < %.1fx\n", speedup,
+                   kRequiredSpeedupAt4);
+      return 1;
+    }
+    std::printf("# speedup gate passed: %.2fx at 4 threads\n", speedup);
+  } else {
+    std::printf("# speedup gate skipped (hw=%u quick=%d)\n", hw,
+                cfg.quick ? 1 : 0);
+  }
+
+  return FinishBench(cfg, "bench_parallel", all);
+}
+
+}  // namespace
+}  // namespace ishare
+
+int main(int argc, char** argv) { return ishare::Main(argc, argv); }

@@ -18,12 +18,15 @@ namespace ishare {
 //   --sf=<double>        TPC-H scale factor (default 0.01)
 //   --max_pace=<int>     J, the pace cap (default 50; paper uses 100)
 //   --seed=<int>         data generator seed
+//   --threads=<int>      scheduler worker threads (default 1 = serial;
+//                        any value keeps results byte-identical)
 //   --quick              shrink everything for a fast smoke run
 //   --json=<path>        also write the structured export (json_export.h)
 struct BenchConfig {
   double sf = 0.01;
   int max_pace = 50;
   uint64_t seed = 7;
+  int threads = 1;
   bool quick = false;
   std::string json_path;
 
@@ -37,6 +40,8 @@ struct BenchConfig {
         c.max_pace = std::atoi(a + 11);
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
         c.seed = std::strtoull(a + 7, nullptr, 10);
+      } else if (std::strncmp(a, "--threads=", 10) == 0) {
+        c.threads = std::max(1, std::atoi(a + 10));
       } else if (std::strcmp(a, "--quick") == 0) {
         c.quick = true;
       } else if (std::strncmp(a, "--json=", 7) == 0) {
@@ -55,6 +60,7 @@ struct BenchConfig {
   ApproachOptions MakeOptions() const {
     ApproachOptions o;
     o.max_pace = max_pace;
+    o.exec.sched.num_threads = threads;
     return o;
   }
 };
@@ -68,8 +74,8 @@ inline const std::vector<Approach>& StandardApproaches() {
 
 inline void PrintHeader(const char* what, const BenchConfig& c) {
   std::printf("# %s\n", what);
-  std::printf("# sf=%.4f max_pace=%d seed=%llu%s\n", c.sf, c.max_pace,
-              static_cast<unsigned long long>(c.seed),
+  std::printf("# sf=%.4f max_pace=%d seed=%llu threads=%d%s\n", c.sf,
+              c.max_pace, static_cast<unsigned long long>(c.seed), c.threads,
               c.quick ? " (quick)" : "");
 }
 
@@ -132,6 +138,7 @@ inline int FinishBench(const BenchConfig& cfg, const std::string& bench_name,
   info.sf = cfg.sf;
   info.max_pace = cfg.max_pace;
   info.seed = cfg.seed;
+  info.threads = cfg.threads;
   info.quick = cfg.quick;
   std::string doc = BenchReportJson(info, results);
   if (doc.empty()) {

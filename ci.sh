@@ -3,6 +3,7 @@
 #   ./ci.sh           -> configure + build + ctest (default preset)
 #   ./ci.sh asan      -> same under -fsanitize=address,undefined
 #   ./ci.sh ubsan     -> same under standalone -fsanitize=undefined (no recovery)
+#   ./ci.sh tsan      -> concurrency tests only under -fsanitize=thread
 #   ./ci.sh noobs     -> same with ISHARE_OBS_ENABLED=OFF (obs compiled out)
 #   ./ci.sh bench     -> quick benchmark gates (non-zero on failure)
 #   ./ci.sh docs      -> markdown link check
@@ -16,6 +17,20 @@ case "$mode" in
     cmake --preset "$mode"
     cmake --build --preset "$mode" -j "$(nproc)"
     ctest --preset "$mode"
+    ;;
+  tsan)
+    # Only the suites that actually spawn threads: the worker pool and
+    # wave scheduler (sched_test), the shedding/overload runtime whose
+    # buffers carry the single-writer/multi-reader contract (flow_test),
+    # and the DeltaBuffer concurrent-append regression (storage_test).
+    # Running the whole serial suite under tsan would cost ~10x wall
+    # clock without exercising a single cross-thread access.
+    cmake --preset tsan
+    cmake --build --preset tsan -j "$(nproc)" \
+      --target sched_test flow_test storage_test
+    ./build-tsan/tests/sched_test
+    ./build-tsan/tests/flow_test
+    ./build-tsan/tests/storage_test
     ;;
   bench)
     cmake --preset default
@@ -31,7 +46,7 @@ case "$mode" in
     python3 tools/check_md_links.py
     ;;
   *)
-    echo "usage: $0 [default|asan|ubsan|noobs|bench|docs]" >&2
+    echo "usage: $0 [default|asan|ubsan|tsan|noobs|bench|docs]" >&2
     exit 2
     ;;
 esac

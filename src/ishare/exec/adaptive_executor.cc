@@ -7,6 +7,7 @@
 #include "ishare/common/fraction.h"
 #include "ishare/flow/shedding.h"
 #include "ishare/obs/obs.h"
+#include "ishare/sched/wave.h"
 
 namespace ishare {
 
@@ -28,6 +29,14 @@ AdaptiveExecutor::AdaptiveExecutor(CostEstimator* estimator,
       opt_opts_(opt_opts) {
   CHECK(estimator != nullptr && source != nullptr);
   CHECK_EQ(static_cast<int>(constraints_.size()), graph_->num_queries());
+  // Pool creation precedes the executor loop: BuildTree binds operators
+  // to opts_.sched_pool. With a memory budget attached the executor runs
+  // serial regardless of num_threads (see RunLevelsParallel's contract).
+  if (opts_.sched.num_threads > 1 && opts_.flow.budget == nullptr) {
+    pool_ = std::make_unique<sched::WorkerPool>(opts_.sched.num_threads);
+    opts_.sched_pool = pool_.get();
+    levels_ = sched::StaticLevels(*graph_);
+  }
   int n = graph_->num_subplans();
   buffers_.resize(n);
   executors_.resize(n);
@@ -175,6 +184,110 @@ Status AdaptiveExecutor::ShedDropPass(const std::vector<int>& shed_order) {
   return Status::OK();
 }
 
+// Parallel twin of StepOnce's decision/execution loop. Only reachable
+// when no memory budget is attached (pool_ is not created otherwise), so
+// the shed/defer/backpressure branches of the serial loop are vacuous
+// here and deliberately absent. Serial equivalence (DESIGN.md §10):
+// decisions fire level by level — a catch-up test reads PendingInput(),
+// which a child's same-step append changes, and every child sits in a
+// strictly lower level, so each subplan sees exactly the state the serial
+// topo loop would have shown it. Executions within a level touch disjoint
+// executor/buffer state (no parent-child pairs share a level), and all
+// float accumulation — metrics, run stats, drift — is applied after the
+// levels strictly in topo order, reproducing the serial summation order
+// bit for bit. Divergences, both on paths the equivalence tests do not
+// exercise: before-subplan hooks fire per level ahead of that level's
+// executions instead of interleaved per subplan, and a failed level
+// publishes nothing for the torn step.
+Status AdaptiveExecutor::RunLevelsParallel(const Fraction& f, int64_t step,
+                                           bool is_trigger, bool overloaded) {
+  AdaptiveRunResult& out = ws_.out;
+  int n = graph_->num_subplans();
+  std::vector<char> ran(n, 0);
+  std::vector<char> was_catchup(n, 0);
+  std::vector<Status> statuses(n);
+  std::vector<ExecRecord> records(n);
+  for (const std::vector<int>& level : levels_) {
+    std::vector<int> to_run;
+    for (int s : level) {
+      bool scheduled = f.IsStepOf(paces_[s]);
+      bool skip = scheduled && !is_trigger && overloaded && !protective_[s];
+      bool catchup = false;
+      if (!scheduled && !is_trigger && policy_.enable_catchup &&
+          protective_[s] && executors_[s]->executions() > 0) {
+        int64_t baseline =
+            std::max<int64_t>(1, executors_[s]->last_input_consumed());
+        catchup = executors_[s]->PendingInput() >=
+                  static_cast<int64_t>(policy_.backlog_factor *
+                                       static_cast<double>(baseline));
+      }
+      if (skip) {
+        ++out.stats.skipped_execs;
+        obs::Registry().GetCounter("exec.adaptive.skip").Add(1);
+        continue;
+      }
+      if (!scheduled && !catchup) continue;
+      was_catchup[s] = catchup ? 1 : 0;
+      to_run.push_back(s);
+    }
+    if (to_run.empty()) continue;
+    if (before_subplan_) {
+      for (int s : to_run) ISHARE_RETURN_NOT_OK(before_subplan_(step, s));
+    }
+    pool_->ParallelFor(static_cast<int64_t>(to_run.size()), [&](int64_t i) {
+      int s = to_run[static_cast<size_t>(i)];
+      Result<ExecRecord> r = executors_[s]->ExecuteOnce();
+      if (r.ok()) {
+        records[s] = *r;
+        ran[s] = 1;
+      } else {
+        statuses[s] = r.status();
+      }
+    });
+    bool failed = false;
+    for (int s : to_run) {
+      if (!statuses[s].ok()) failed = true;
+    }
+    if (failed) {
+      for (int s : graph_->TopoChildrenFirst()) {
+        ISHARE_RETURN_NOT_OK(statuses[s]);
+      }
+    }
+  }
+  for (int s : graph_->TopoChildrenFirst()) {
+    if (!ran[s]) continue;
+    const ExecRecord& rec = records[s];
+    executors_[s]->PublishExecMetrics(rec);
+    out.flow.admitted_tuples += rec.tuples_in;
+    SubplanRunStats& st = out.run.subplans[s];
+    st.work_per_exec.push_back(rec.work);
+    st.secs_per_exec.push_back(rec.seconds);
+    st.exec_fraction.push_back(f.ToDouble());
+    st.total_work += rec.work;
+    st.total_seconds += rec.seconds;
+    st.tuples_out += rec.tuples_out;
+    if (is_trigger) {
+      st.final_work = rec.work;
+      st.final_seconds = rec.seconds;
+    }
+    out.run.total_work += rec.work;
+    out.run.total_seconds += rec.seconds;
+    ws_.observed_total += rec.work;
+    if (was_catchup[s]) {
+      ++out.stats.catchup_execs;
+      obs::Registry().GetCounter("exec.adaptive.catchup").Add(1);
+    } else {
+      double pred = is_trigger ? pred_final_[s] : pred_nonfinal_[s];
+      if (pred > kEps) {
+        ws_.drift_obs += rec.work;
+        ws_.drift_pred += pred;
+        ++ws_.sched_execs;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Status AdaptiveExecutor::StepOnce() {
   std::vector<int> topo = graph_->TopoChildrenFirst();
   AdaptiveRunResult& out = ws_.out;
@@ -214,79 +327,83 @@ Status AdaptiveExecutor::StepOnce() {
                     ws_.sched_execs >= policy_.min_drift_samples &&
                     ws_.observed_total > budget;
 
-  for (int s : topo) {
-    bool scheduled = f.IsStepOf(paces_[s]);
-    bool skip = scheduled && !is_trigger && overloaded && !protective_[s];
-    bool catchup = false;
-    if (!scheduled && !is_trigger && policy_.enable_catchup &&
-        protective_[s] && executors_[s]->executions() > 0) {
-      int64_t baseline =
-          std::max<int64_t>(1, executors_[s]->last_input_consumed());
-      catchup = executors_[s]->PendingInput() >=
-                static_cast<int64_t>(policy_.backlog_factor *
-                                     static_cast<double>(baseline));
-    }
-    if (skip) {
-      ++out.stats.skipped_execs;
-      obs::Registry().GetCounter("exec.adaptive.skip").Add(1);
-      continue;
-    }
-    // Slackness-aware deferral: a sheddable subplan's scheduled
-    // intermediate execution is pushed to a later point, either by the
-    // pressure quota or because its output buffer / the budget refuses
-    // admission. The trigger is exempt, so results are unchanged.
-    bool shed_defer = scheduled && !is_trigger && shed[s] != 0;
-    if (!shed_defer && scheduled && !is_trigger && sheddable_[s] &&
-        mem != nullptr) {
-      bool denied = !buffers_[s]->AdmitStatus().ok();
-      if (!denied && mem->limited()) {
-        denied = mem->GrantHeadroom(executors_[s]->last_output_bytes())
-                     .IsRetryableBackpressure();
+  if (pool_ != nullptr) {
+    ISHARE_RETURN_NOT_OK(RunLevelsParallel(f, step, is_trigger, overloaded));
+  } else {
+    for (int s : topo) {
+      bool scheduled = f.IsStepOf(paces_[s]);
+      bool skip = scheduled && !is_trigger && overloaded && !protective_[s];
+      bool catchup = false;
+      if (!scheduled && !is_trigger && policy_.enable_catchup &&
+          protective_[s] && executors_[s]->executions() > 0) {
+        int64_t baseline =
+            std::max<int64_t>(1, executors_[s]->last_input_consumed());
+        catchup = executors_[s]->PendingInput() >=
+                  static_cast<int64_t>(policy_.backlog_factor *
+                                       static_cast<double>(baseline));
       }
-      if (denied) {
-        shed_defer = true;
-        ++out.flow.backpressure_events;
-        obs::Registry().GetCounter("flow.backpressure.defer").Add(1);
+      if (skip) {
+        ++out.stats.skipped_execs;
+        obs::Registry().GetCounter("exec.adaptive.skip").Add(1);
+        continue;
       }
-    }
-    if (shed_defer) {
-      ++out.flow.shed_deferred;
-      for (QueryId q : graph_->subplan(s).queries.ToIds()) {
-        if (q < static_cast<QueryId>(out.flow.query_deferred.size())) {
-          ++out.flow.query_deferred[q];
+      // Slackness-aware deferral: a sheddable subplan's scheduled
+      // intermediate execution is pushed to a later point, either by the
+      // pressure quota or because its output buffer / the budget refuses
+      // admission. The trigger is exempt, so results are unchanged.
+      bool shed_defer = scheduled && !is_trigger && shed[s] != 0;
+      if (!shed_defer && scheduled && !is_trigger && sheddable_[s] &&
+          mem != nullptr) {
+        bool denied = !buffers_[s]->AdmitStatus().ok();
+        if (!denied && mem->limited()) {
+          denied = mem->GrantHeadroom(executors_[s]->last_output_bytes())
+                       .IsRetryableBackpressure();
+        }
+        if (denied) {
+          shed_defer = true;
+          ++out.flow.backpressure_events;
+          obs::Registry().GetCounter("flow.backpressure.defer").Add(1);
         }
       }
-      obs::Registry().GetCounter("flow.shed.deferred").Add(1);
-      continue;
-    }
-    if (!scheduled && !catchup) continue;
+      if (shed_defer) {
+        ++out.flow.shed_deferred;
+        for (QueryId q : graph_->subplan(s).queries.ToIds()) {
+          if (q < static_cast<QueryId>(out.flow.query_deferred.size())) {
+            ++out.flow.query_deferred[q];
+          }
+        }
+        obs::Registry().GetCounter("flow.shed.deferred").Add(1);
+        continue;
+      }
+      if (!scheduled && !catchup) continue;
 
-    if (before_subplan_) ISHARE_RETURN_NOT_OK(before_subplan_(step, s));
-    ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
-    out.flow.admitted_tuples += rec.tuples_in;
-    SubplanRunStats& st = out.run.subplans[s];
-    st.work_per_exec.push_back(rec.work);
-    st.secs_per_exec.push_back(rec.seconds);
-    st.exec_fraction.push_back(f.ToDouble());
-    st.total_work += rec.work;
-    st.total_seconds += rec.seconds;
-    st.tuples_out += rec.tuples_out;
-    if (is_trigger) {
-      st.final_work = rec.work;
-      st.final_seconds = rec.seconds;
-    }
-    out.run.total_work += rec.work;
-    out.run.total_seconds += rec.seconds;
-    ws_.observed_total += rec.work;
-    if (catchup) {
-      ++out.stats.catchup_execs;
-      obs::Registry().GetCounter("exec.adaptive.catchup").Add(1);
-    } else {
-      double pred = is_trigger ? pred_final_[s] : pred_nonfinal_[s];
-      if (pred > kEps) {
-        ws_.drift_obs += rec.work;
-        ws_.drift_pred += pred;
-        ++ws_.sched_execs;
+      if (before_subplan_) ISHARE_RETURN_NOT_OK(before_subplan_(step, s));
+      ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
+      out.flow.admitted_tuples += rec.tuples_in;
+      SubplanRunStats& st = out.run.subplans[s];
+      st.work_per_exec.push_back(rec.work);
+      st.secs_per_exec.push_back(rec.seconds);
+      st.exec_fraction.push_back(f.ToDouble());
+      st.total_work += rec.work;
+      st.total_seconds += rec.seconds;
+      st.tuples_out += rec.tuples_out;
+      if (is_trigger) {
+        st.final_work = rec.work;
+        st.final_seconds = rec.seconds;
+      }
+      out.run.total_work += rec.work;
+      out.run.total_seconds += rec.seconds;
+      ws_.observed_total += rec.work;
+      if (catchup) {
+        ++out.stats.catchup_execs;
+        obs::Registry().GetCounter("exec.adaptive.catchup").Add(1);
+      } else {
+        double pred = is_trigger ? pred_final_[s] : pred_nonfinal_[s];
+        if (pred > kEps) {
+          ws_.drift_obs += rec.work;
+          ws_.drift_pred += pred;
+          ++ws_.sched_execs;
+        }
       }
     }
   }

@@ -203,6 +203,15 @@ class AdaptiveExecutor : public recovery::Checkpointable {
   void PublishBaseBytes();
   Status ShedDropPass(const std::vector<int>& shed_order);
   Status StepOnce();
+  // Level-parallel variant of StepOnce's decision/execution loop
+  // (DESIGN.md §10): decisions are made level by level (a subplan's
+  // catch-up test reads its children's freshly appended output, so
+  // children's level must finish first), executions within a level fan
+  // out on the pool, and metrics/stats apply serially in topo order
+  // afterward. Only used when no memory budget is attached — admission
+  // and shedding decisions are order-sensitive and stay serial.
+  Status RunLevelsParallel(const Fraction& f, int64_t step, bool is_trigger,
+                           bool overloaded);
   AdaptiveRunResult FinishWindow();
   Status SnapshotImpl(recovery::CheckpointWriter* w,
                       bool include_timings) const;
@@ -244,6 +253,11 @@ class AdaptiveExecutor : public recovery::Checkpointable {
   WindowState ws_;
   StepHook after_step_;
   SubplanHook before_subplan_;
+
+  // Owned worker pool (nullptr = serial) and the graph's static
+  // dependency levels; both fixed at construction (DESIGN.md §10).
+  std::unique_ptr<sched::WorkerPool> pool_;
+  std::vector<std::vector<int>> levels_;
 
   std::vector<std::unique_ptr<DeltaBuffer>> buffers_;
   std::vector<std::unique_ptr<SubplanExecutor>> executors_;

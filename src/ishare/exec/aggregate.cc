@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "ishare/sched/worker_pool.h"
+
 namespace ishare {
 
 AggregateOp::AggregateOp(const PlanNode* node, const Schema& input_schema)
@@ -23,7 +25,7 @@ AggregateOp::AggregateOp(const PlanNode* node, const Schema& input_schema)
 }
 
 void AggregateOp::UpdateAccum(const AggSpec& spec, Accum* a, const Value& v,
-                              int32_t w) {
+                              int32_t w, OpWork* work) {
   switch (spec.kind) {
     case AggKind::kCount:
       a->count += w;
@@ -40,7 +42,7 @@ void AggregateOp::UpdateAccum(const AggSpec& spec, Accum* a, const Value& v,
       int64_t& cnt = a->values[v];
       cnt += w;
       CHECK_GE(cnt, 0) << "aggregate delete without matching insert";
-      work_.state += 1;
+      work->state += 1;
       if (cnt == 0) {
         a->values.erase(v);
         if (spec.kind != AggKind::kCountDistinct && a->extremum.has_value() &&
@@ -50,7 +52,7 @@ void AggregateOp::UpdateAccum(const AggSpec& spec, Accum* a, const Value& v,
           // non-incrementable under eager execution.
           a->extremum.reset();
           for (const auto& [val, c] : a->values) {
-            work_.state += 1;
+            work->state += 1;
             if (!a->extremum.has_value() ||
                 (spec.kind == AggKind::kMax ? a->extremum->Compare(val) < 0
                                             : a->extremum->Compare(val) > 0)) {
@@ -70,8 +72,32 @@ void AggregateOp::UpdateAccum(const AggSpec& spec, Accum* a, const Value& v,
   }
 }
 
+void AggregateOp::BindScheduler(sched::WorkerPool* pool,
+                                const sched::SchedulerOptions& opts) {
+  pool_ = pool;
+  morsel_min_tuples_ = opts.morsel_min_tuples;
+}
+
+void AggregateOp::ApplyTuple(const DeltaTuple& t, GroupState* g,
+                             const std::vector<Value>& argv, OpWork* work) {
+  const auto& specs = node_->aggregates;
+  for (size_t pos = 0; pos < query_ids_.size(); ++pos) {
+    if (!t.qset.Contains(query_ids_[pos])) continue;
+    QueryState& qs = g->per_query[pos];
+    qs.row_count += t.weight;
+    CHECK_GE(qs.row_count, 0) << "aggregate group count went negative";
+    for (size_t i = 0; i < specs.size(); ++i) {
+      UpdateAccum(specs[i], &qs.accums[i], argv[i], t.weight, work);
+    }
+  }
+}
+
 DeltaBatch AggregateOp::Process(int child_idx, DeltaSpan in) {
   CHECK_EQ(child_idx, 0);
+  if (pool_ != nullptr && pool_->num_threads() > 1 &&
+      static_cast<int64_t>(in.size()) >= morsel_min_tuples_) {
+    return ProcessParallel(in);
+  }
   const auto& specs = node_->aggregates;
   for (const DeltaTuple& t : in) {
     work_.in += 1;
@@ -87,19 +113,63 @@ DeltaBatch AggregateOp::Process(int child_idx, DeltaSpan in) {
     for (size_t i = 0; i < specs.size(); ++i) {
       if (has_arg_[i]) argv[i] = arg_exprs_[i].Eval(t.row);
     }
-    for (size_t pos = 0; pos < query_ids_.size(); ++pos) {
-      if (!t.qset.Contains(query_ids_[pos])) continue;
-      QueryState& qs = g.per_query[pos];
-      qs.row_count += t.weight;
-      CHECK_GE(qs.row_count, 0) << "aggregate group count went negative";
-      for (size_t i = 0; i < specs.size(); ++i) {
-        UpdateAccum(specs[i], &qs.accums[i], argv[i], t.weight);
-      }
-    }
+    ApplyTuple(t, &g, argv, &work_);
     if (dirty_seen_.insert(key).second) {
       dirty_order_.push_back(std::move(key));
     }
   }
+  return {};  // blocking: output released in EndExecution
+}
+
+// Two-phase morsel path (DESIGN.md §10), after the parallel group-by
+// pattern: a serial pre-pass performs every hash-map structure mutation
+// (group creation, dirty tracking) in input order, then the pool updates
+// accumulators with groups partitioned by key hash. Bit-exactness with
+// the serial loop:
+//  - each group belongs to exactly one partition, and its partition task
+//    walks the batch in input order, so every (group, query) accumulator
+//    sees the identical update sequence (double sums are order-sensitive;
+//    the order never changes);
+//  - group creation order — and hence groups_'s iteration order and the
+//    dirty emission order — is fixed by the serial pre-pass;
+//  - per-task OpWork partials are integer-valued counts folded in fixed
+//    partition order.
+DeltaBatch AggregateOp::ProcessParallel(DeltaSpan in) {
+  const auto& specs = node_->aggregates;
+  const size_t n = in.size();
+  const int parts = pool_->num_threads();
+  std::vector<Row> keys(n);
+  std::vector<int> part(n);
+  std::vector<GroupState*> group_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    work_.in += 1;
+    keys[i] = ExtractColumns(in[i].row, group_key_idx_);
+    part[i] = static_cast<int>(HashRow(keys[i]) % static_cast<size_t>(parts));
+    GroupState& g = groups_[keys[i]];
+    if (g.per_query.empty()) {
+      g.key = keys[i];
+      g.per_query.resize(query_ids_.size());
+      for (QueryState& qs : g.per_query) qs.accums.resize(specs.size());
+    }
+    group_of[i] = &g;
+    if (dirty_seen_.insert(keys[i]).second) {
+      dirty_order_.push_back(keys[i]);
+    }
+  }
+  std::vector<OpWork> partial(static_cast<size_t>(parts));
+  pool_->ParallelFor(parts, [&](int64_t p) {
+    OpWork* w = &partial[static_cast<size_t>(p)];
+    std::vector<Value> argv(specs.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (part[i] != p) continue;
+      const DeltaTuple& t = in[i];
+      for (size_t a = 0; a < specs.size(); ++a) {
+        if (has_arg_[a]) argv[a] = arg_exprs_[a].Eval(t.row);
+      }
+      ApplyTuple(t, group_of[i], argv, w);
+    }
+  });
+  for (const OpWork& w : partial) work_ += w;
   return {};  // blocking: output released in EndExecution
 }
 

@@ -35,6 +35,15 @@ class AggregateOp : public PhysOp {
   DeltaBatch Process(int child_idx, DeltaSpan in) override;
   DeltaBatch EndExecution() override;
 
+  // Morsel-driven parallelism (DESIGN.md §10): batches of at least
+  // `opts.morsel_min_tuples` are partitioned by group-key hash and
+  // accumulated by the pool, two-phase in the style of parallel group-by
+  // (thread-local work meters, serial pre-pass owning all hash-map
+  // structure mutation). Bit-exact with serial because each group's
+  // accumulators see the same update subsequence in the same order.
+  void BindScheduler(sched::WorkerPool* pool,
+                     const sched::SchedulerOptions& opts) override;
+
   // Group state is checkpointed with group keys in canonical order so the
   // snapshot is independent of hash-map bucket history; the dirty set is
   // kept insertion-ordered (vector + membership set) precisely so
@@ -70,7 +79,15 @@ class AggregateOp : public PhysOp {
     std::vector<QueryState> per_query;  // indexed by query position
   };
 
-  void UpdateAccum(const AggSpec& spec, Accum* a, const Value& v, int32_t w);
+  // `work` receives the state-maintenance cost: &work_ on the serial
+  // path, a thread-local partial on the parallel path (folded back in
+  // fixed partition order so totals stay bit-identical).
+  static void UpdateAccum(const AggSpec& spec, Accum* a, const Value& v,
+                          int32_t w, OpWork* work);
+  // Applies one input tuple to its (pre-created) group state.
+  void ApplyTuple(const DeltaTuple& t, GroupState* g,
+                  const std::vector<Value>& argv, OpWork* work);
+  DeltaBatch ProcessParallel(DeltaSpan in);
   // Builds the output row for (group, query position), or nullopt when the
   // group has no contributions for that query.
   std::optional<Row> CurrentRow(const GroupState& g, int qpos);
@@ -87,6 +104,10 @@ class AggregateOp : public PhysOp {
   // share with the original.
   std::vector<Row> dirty_order_;
   std::unordered_set<Row, RowHasher> dirty_seen_;
+
+  // Morsel parallelism (nullptr / ignored when serial).
+  sched::WorkerPool* pool_ = nullptr;
+  int64_t morsel_min_tuples_ = 0;
 };
 
 }  // namespace ishare

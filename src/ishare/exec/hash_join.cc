@@ -1,7 +1,10 @@
 #include "ishare/exec/hash_join.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
+
+#include "ishare/sched/worker_pool.h"
 
 namespace ishare {
 
@@ -125,11 +128,16 @@ Status HashJoinOp::Restore(recovery::CheckpointReader* r) {
   return r->status();
 }
 
-void HashJoinOp::UpdateState(SideState* state, const Row& key,
-                             const DeltaTuple& t, int64_t* entry_counter) {
-  std::vector<Entry>& bucket = (*state)[key];
+void HashJoinOp::BindScheduler(sched::WorkerPool* pool,
+                               const sched::SchedulerOptions& opts) {
+  pool_ = pool;
+  morsel_min_tuples_ = opts.morsel_min_tuples;
+}
+
+void HashJoinOp::UpdateBucket(std::vector<Entry>* bucket,
+                              const DeltaTuple& t, int64_t* entry_counter) {
   Entry* entry = nullptr;
-  for (Entry& e : bucket) {
+  for (Entry& e : *bucket) {
     if (e.row == t.row) {
       entry = &e;
       break;
@@ -137,8 +145,9 @@ void HashJoinOp::UpdateState(SideState* state, const Row& key,
   }
   if (entry == nullptr) {
     CHECK_GT(t.weight, 0) << "delete of a row absent from join state";
-    bucket.push_back(Entry{t.row, std::vector<int64_t>(query_ids_.size(), 0)});
-    entry = &bucket.back();
+    bucket->push_back(
+        Entry{t.row, std::vector<int64_t>(query_ids_.size(), 0)});
+    entry = &bucket->back();
     ++*entry_counter;
   }
   bool all_zero = true;
@@ -150,15 +159,21 @@ void HashJoinOp::UpdateState(SideState* state, const Row& key,
     if (entry->counts[pos] != 0) all_zero = false;
   }
   if (all_zero) {
-    *entry = std::move(bucket.back());
-    bucket.pop_back();
+    *entry = std::move(bucket->back());
+    bucket->pop_back();
     --*entry_counter;
-    if (bucket.empty()) state->erase(key);
   }
 }
 
+void HashJoinOp::UpdateState(SideState* state, const Row& key,
+                             const DeltaTuple& t, int64_t* entry_counter) {
+  std::vector<Entry>& bucket = (*state)[key];
+  UpdateBucket(&bucket, t, entry_counter);
+  if (bucket.empty()) state->erase(key);
+}
+
 void HashJoinOp::EmitMatches(const DeltaTuple& t, const Entry& e,
-                             bool t_is_left, DeltaBatch* out) {
+                             bool t_is_left, OpWork* work, DeltaBatch* out) {
   // Group queries by the contribution weight t.weight * e.counts[q] so the
   // common case (uniform multiplicities) emits a single delta tuple.
   std::map<int64_t, QuerySet> by_weight;
@@ -179,7 +194,7 @@ void HashJoinOp::EmitMatches(const DeltaTuple& t, const Entry& e,
   }
   for (const auto& [w, qset] : by_weight) {
     out->emplace_back(joined, qset, static_cast<int32_t>(w));
-    work_.out += 1;
+    work->out += 1;
   }
 }
 
@@ -200,6 +215,12 @@ DeltaBatch HashJoinOp::ProcessInner(int child_idx, DeltaSpan in) {
   const std::vector<int>& own_keys =
       from_left ? left_key_idx_ : right_key_idx_;
 
+  if (pool_ != nullptr && pool_->num_threads() > 1 &&
+      static_cast<int64_t>(in.size()) >= morsel_min_tuples_) {
+    return ProcessInnerParallel(own, other, own_entries, own_keys, from_left,
+                                in);
+  }
+
   for (const DeltaTuple& t : in) {
     work_.in += 1;
     Row key = ExtractColumns(t.row, own_keys);
@@ -208,8 +229,92 @@ DeltaBatch HashJoinOp::ProcessInner(int child_idx, DeltaSpan in) {
     if (it == other->end()) continue;
     for (const Entry& e : it->second) {
       work_.state += 1;  // probe cost
-      EmitMatches(t, e, from_left, &out);
+      EmitMatches(t, e, from_left, &work_, &out);
     }
+  }
+  return out;
+}
+
+// Parallel inner-join execution (DESIGN.md §10). The serial loop
+// interleaves build (UpdateState on `own`) and probe (`other` lookups)
+// per tuple, but a tuple's probe results depend only on `other` — which
+// this call never mutates — so splitting into a full build phase then a
+// full probe phase emits exactly the serial output.
+//
+// Build: keys are extracted serially (fixing group/bucket creation order
+// and all map structure mutation on the driver thread), then workers
+// update buckets partitioned by key hash — each key is owned by exactly
+// one worker, so per-key entry order matches the serial input-order walk.
+// Keys whose buckets empty out are erased in a serial post-pass; serial
+// execution erases them mid-batch, but map membership of empty buckets is
+// not observable (probes skip them, snapshots sort keys, byte accounting
+// sums integers).
+//
+// Probe: contiguous morsels with one output slot per tuple; slots are
+// concatenated in input order and per-morsel work partials folded in
+// morsel order, keeping both the emitted batch and the work meter
+// bit-identical to serial.
+DeltaBatch HashJoinOp::ProcessInnerParallel(SideState* own, SideState* other,
+                                            int64_t* own_entries,
+                                            const std::vector<int>& own_keys,
+                                            bool from_left, DeltaSpan in) {
+  const size_t n = in.size();
+  const int workers = pool_->num_threads();
+  std::vector<Row> keys(n);
+  std::vector<int> part(n);
+  std::vector<std::vector<Entry>*> bucket_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    work_.in += 1;
+    keys[i] = ExtractColumns(in[i].row, own_keys);
+    part[i] =
+        static_cast<int>(HashRow(keys[i]) % static_cast<size_t>(workers));
+    // try_emplace pre-creates the bucket so workers never mutate map
+    // structure; element addresses are stable across later insertions,
+    // so the cached bucket pointers survive the rest of the pre-pass.
+    bucket_of[i] = &own->try_emplace(keys[i]).first->second;
+  }
+
+  std::vector<int64_t> entry_delta(static_cast<size_t>(workers), 0);
+  pool_->ParallelFor(workers, [&](int64_t p) {
+    int64_t delta = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (part[i] != p) continue;
+      UpdateBucket(bucket_of[i], in[i], &delta);
+    }
+    entry_delta[static_cast<size_t>(p)] = delta;
+  });
+  for (int64_t d : entry_delta) *own_entries += d;
+  // Serial execution erases a key the moment its bucket empties; sweep
+  // every key this batch touched so the final map membership matches
+  // (snapshots serialize all keys, so an empty leftover bucket would
+  // break checkpoint bit-exactness).
+  for (size_t i = 0; i < n; ++i) {
+    auto it = own->find(keys[i]);
+    if (it != own->end() && it->second.empty()) own->erase(it);
+  }
+
+  std::vector<DeltaBatch> slots(n);
+  std::vector<OpWork> partial(static_cast<size_t>(workers));
+  pool_->ParallelFor(workers, [&](int64_t w) {
+    const size_t lo = n * static_cast<size_t>(w) /
+                      static_cast<size_t>(workers);
+    const size_t hi = n * (static_cast<size_t>(w) + 1) /
+                      static_cast<size_t>(workers);
+    OpWork* pw = &partial[static_cast<size_t>(w)];
+    for (size_t i = lo; i < hi; ++i) {
+      auto it = other->find(keys[i]);
+      if (it == other->end()) continue;
+      for (const Entry& e : it->second) {
+        pw->state += 1;  // probe cost
+        EmitMatches(in[i], e, from_left, pw, &slots[i]);
+      }
+    }
+  });
+  for (const OpWork& w : partial) work_ += w;
+  DeltaBatch out;
+  for (DeltaBatch& s : slots) {
+    out.insert(out.end(), std::make_move_iterator(s.begin()),
+               std::make_move_iterator(s.end()));
   }
   return out;
 }

@@ -37,6 +37,19 @@ class HashJoinOp : public PhysOp {
 
   DeltaBatch Process(int child_idx, DeltaSpan in) override;
 
+  // Morsel-driven parallelism (DESIGN.md §10), inner joins only: the
+  // build is hash-partitioned by join key (each worker owns the keys
+  // hashing to its partition, so bucket mutation is disjoint; map
+  // structure mutation stays serial in pre/post passes), and the probe
+  // fans out over contiguous morsels with per-tuple output slots
+  // concatenated in input order. Bit-exact with serial because per-key
+  // update order and the emitted tuple order are both preserved.
+  // Semi/anti joins keep the serial path: their right-delta handling
+  // re-emits stored left tuples across keys, which does not decompose by
+  // input partition (out of scope here; see DESIGN.md §10).
+  void BindScheduler(sched::WorkerPool* pool,
+                     const sched::SchedulerOptions& opts) override;
+
   // Build-side state is checkpointed with keys in canonical (encoded-byte)
   // order so the snapshot is independent of hash-map bucket history, while
   // each per-key bucket keeps its insertion order — probe emission iterates
@@ -62,17 +75,26 @@ class HashJoinOp : public PhysOp {
       std::unordered_map<Row, std::vector<int64_t>, RowHasher>;
 
   DeltaBatch ProcessInner(int child_idx, DeltaSpan in);
+  DeltaBatch ProcessInnerParallel(SideState* own, SideState* other,
+                                  int64_t* own_entries,
+                                  const std::vector<int>& own_keys,
+                                  bool from_left, DeltaSpan in);
   DeltaBatch ProcessSemiAnti(int child_idx, DeltaSpan in);
 
   // Applies the tuple's weight to the matching stored row's per-query
-  // counters, creating/removing the entry as needed.
+  // counters, creating the entry as needed; swap-removes an entry whose
+  // counts all reach zero. The caller erases the key once its bucket
+  // empties (serially — the parallel build defers that to a post-pass).
+  void UpdateBucket(std::vector<Entry>* bucket, const DeltaTuple& t,
+                    int64_t* entry_counter);
   void UpdateState(SideState* state, const Row& key, const DeltaTuple& t,
                    int64_t* entry_counter);
 
   // Emits join results of `t` against entry `e`, grouping queries with
-  // equal contribution weights into single delta tuples.
+  // equal contribution weights into single delta tuples. `work` is
+  // &work_ on the serial path, a per-morsel partial on the parallel one.
   void EmitMatches(const DeltaTuple& t, const Entry& e, bool t_is_left,
-                   DeltaBatch* out);
+                   OpWork* work, DeltaBatch* out);
 
   int QueryPos(QueryId q) const {
     int pos = query_pos_[q];
@@ -93,6 +115,10 @@ class HashJoinOp : public PhysOp {
 
   std::vector<QueryId> query_ids_;           // position -> query id
   std::array<int, QuerySet::kMaxQueries> query_pos_;  // query id -> position
+
+  // Morsel parallelism (nullptr / ignored when serial).
+  sched::WorkerPool* pool_ = nullptr;
+  int64_t morsel_min_tuples_ = 0;
 };
 
 }  // namespace ishare

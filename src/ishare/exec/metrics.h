@@ -11,12 +11,17 @@
 #include <vector>
 
 #include "ishare/recovery/retry.h"
+#include "ishare/sched/options.h"
 
 namespace ishare {
 
 namespace flow {
 class MemoryBudget;
 }  // namespace flow
+
+namespace sched {
+class WorkerPool;
+}  // namespace sched
 
 // Work performed by one physical operator, in the paper's cost-model units
 // (Sec. 2.1: "the number of tuples processed by all operators"). We count
@@ -78,6 +83,17 @@ struct ExecOptions {
     bool trim_at_boundaries = true;
   };
   FlowOptions flow;
+
+  // Parallel scheduling (DESIGN.md §10). sched.num_threads == 1 keeps
+  // the fully serial legacy path; > 1 makes the owning executor create a
+  // sched::WorkerPool and dispatch pace-boundary waves and operator
+  // morsels onto it. Results are bit-exact either way.
+  sched::SchedulerOptions sched;
+
+  // Worker pool operators may use for morsel parallelism. Not owned; set
+  // internally by PaceExecutor/AdaptiveExecutor before they build their
+  // SubplanExecutors (callers should leave it nullptr).
+  sched::WorkerPool* sched_pool = nullptr;
 };
 
 }  // namespace ishare

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "ishare/obs/obs.h"
+#include "ishare/sched/wave.h"
 
 namespace ishare {
 
@@ -172,6 +173,12 @@ PaceExecutor::PaceExecutor(const SubplanGraph* graph, StreamSource* source,
                            ExecOptions opts)
     : graph_(graph), source_(source), opts_(opts) {
   CHECK(graph != nullptr && source != nullptr);
+  // The pool must exist before the executor-construction loop below:
+  // BuildTree binds operators to opts_.sched_pool at construction time.
+  if (opts_.sched.num_threads > 1) {
+    pool_ = std::make_unique<sched::WorkerPool>(opts_.sched.num_threads);
+    opts_.sched_pool = pool_.get();
+  }
   int n = graph->num_subplans();
   buffers_.resize(n);
   executors_.resize(n);
@@ -237,10 +244,86 @@ Status PaceExecutor::StepOnce() {
   PublishBaseBytes();
   bool is_trigger = (f.num == f.den);
   int64_t step = next_step_ + 1;  // 1-based step being executed
+  if (pool_ != nullptr) {
+    ISHARE_RETURN_NOT_OK(StepParallel(f, step, is_trigger));
+  } else {
+    for (int s : topo_) {
+      if (!f.IsStepOf(paces_[s])) continue;
+      if (before_subplan_) ISHARE_RETURN_NOT_OK(before_subplan_(step, s));
+      ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
+      SubplanRunStats& st = acc_.subplans[s];
+      st.work_per_exec.push_back(rec.work);
+      st.secs_per_exec.push_back(rec.seconds);
+      st.exec_fraction.push_back(f.ToDouble());
+      st.total_work += rec.work;
+      st.total_seconds += rec.seconds;
+      st.tuples_out += rec.tuples_out;
+      if (is_trigger) {
+        st.final_work = rec.work;
+        st.final_seconds = rec.seconds;
+      }
+      acc_.total_work += rec.work;
+      acc_.total_seconds += rec.seconds;
+    }
+  }
+  if (opts_.flow.trim_at_boundaries) {
+    TrimEngineBuffers(*graph_, source_, buffers_);
+    PublishBaseBytes();
+  }
+  return Status::OK();
+}
+
+// Wave-parallel equivalent of the serial topo loop in StepOnce. The
+// serial-equivalence argument (DESIGN.md §10): waves respect the runnable
+// DAG, so every child's delta is fully appended before a parent consumes
+// it; ExecuteOnce does no shared publication, and metrics/stats are then
+// applied strictly in topo order — the same order (and hence the same
+// float accumulation sequence) as the serial loop. Divergences from
+// serial, both confined to paths the bit-exactness tests do not exercise:
+// before-subplan hooks all fire before the first execution instead of
+// interleaved (fault-injection harnesses run serial), and on error the
+// topo-successors of the failing subplan within already-dispatched waves
+// have executed without their metrics being published.
+Status PaceExecutor::StepParallel(const Fraction& f, int64_t step,
+                                  bool is_trigger) {
+  std::vector<int> runnable;
   for (int s : topo_) {
-    if (!f.IsStepOf(paces_[s])) continue;
-    if (before_subplan_) ISHARE_RETURN_NOT_OK(before_subplan_(step, s));
-    ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, executors_[s]->RunExecution());
+    if (f.IsStepOf(paces_[s])) runnable.push_back(s);
+  }
+  if (runnable.empty()) return Status::OK();
+  if (before_subplan_) {
+    for (int s : runnable) ISHARE_RETURN_NOT_OK(before_subplan_(step, s));
+  }
+  std::vector<Status> statuses(executors_.size());
+  std::vector<ExecRecord> records(executors_.size());
+  std::vector<std::vector<int>> waves = sched::BuildWaves(*graph_, runnable);
+  obs::Registry().GetCounter("sched.step.waves")
+      .Add(static_cast<double>(waves.size()));
+  bool failed = false;
+  for (const std::vector<int>& wave : waves) {
+    pool_->ParallelFor(static_cast<int64_t>(wave.size()), [&](int64_t i) {
+      int s = wave[static_cast<size_t>(i)];
+      Result<ExecRecord> r = executors_[s]->ExecuteOnce();
+      if (r.ok()) {
+        records[s] = *r;
+      } else {
+        statuses[s] = r.status();
+      }
+    });
+    for (int s : wave) {
+      if (!statuses[s].ok()) failed = true;
+    }
+    if (failed) break;  // don't feed parents a failed child's partial delta
+  }
+  if (failed) {
+    // Surface the first error in topo order; no metrics are published for
+    // the torn step (serial would have published the pre-error prefix —
+    // an error-path divergence the equivalence tests do not exercise).
+    for (int s : runnable) ISHARE_RETURN_NOT_OK(statuses[s]);
+  }
+  for (int s : runnable) {
+    const ExecRecord& rec = records[s];
+    executors_[s]->PublishExecMetrics(rec);
     SubplanRunStats& st = acc_.subplans[s];
     st.work_per_exec.push_back(rec.work);
     st.secs_per_exec.push_back(rec.seconds);
@@ -254,10 +337,6 @@ Status PaceExecutor::StepOnce() {
     }
     acc_.total_work += rec.work;
     acc_.total_seconds += rec.seconds;
-  }
-  if (opts_.flow.trim_at_boundaries) {
-    TrimEngineBuffers(*graph_, source_, buffers_);
-    PublishBaseBytes();
   }
   return Status::OK();
 }

@@ -23,6 +23,7 @@
 #include "ishare/exec/subplan_exec.h"
 #include "ishare/plan/subplan_graph.h"
 #include "ishare/recovery/checkpointable.h"
+#include "ishare/sched/worker_pool.h"
 #include "ishare/storage/stream_source.h"
 
 namespace ishare {
@@ -156,6 +157,12 @@ class PaceExecutor : public recovery::Checkpointable {
 
  private:
   Status StepOnce();
+  // Wave-parallel step body (DESIGN.md §10), used when the executor owns
+  // a worker pool: runnable subplans are grouped into dependency waves
+  // and each wave's subplans execute concurrently; stats and metrics are
+  // then applied serially in topo order, keeping results and observable
+  // totals bit-exact with the serial loop.
+  Status StepParallel(const Fraction& f, int64_t step, bool is_trigger);
   RunResult FinishWindow();
   Status SnapshotImpl(recovery::CheckpointWriter* w,
                       bool include_timings) const;
@@ -164,6 +171,9 @@ class PaceExecutor : public recovery::Checkpointable {
   const SubplanGraph* graph_;
   StreamSource* source_;
   ExecOptions opts_;
+  // Owned worker pool, created when opts_.sched.num_threads > 1 (and
+  // advertised to operators via opts_.sched_pool); nullptr = serial.
+  std::unique_ptr<sched::WorkerPool> pool_;
   std::vector<std::unique_ptr<DeltaBuffer>> buffers_;
   std::vector<std::unique_ptr<SubplanExecutor>> executors_;
 

@@ -37,6 +37,18 @@ class PhysOp {
   // Processes one delta batch arriving from child `child_idx`.
   virtual DeltaBatch Process(int child_idx, DeltaSpan in) = 0;
 
+  // Offers the operator a worker pool for morsel-driven intra-operator
+  // parallelism (DESIGN.md §10). Called once by SubplanExecutor after
+  // construction; `pool` may be nullptr (serial execution). Operators
+  // that cannot exploit it simply ignore the call; operators that do
+  // (AggregateOp, HashJoinOp) must keep their results bit-exact with the
+  // serial path.
+  virtual void BindScheduler(sched::WorkerPool* pool,
+                             const sched::SchedulerOptions& opts) {
+    (void)pool;
+    (void)opts;
+  }
+
   // Flushes any output held back until the end of the current incremental
   // execution. Default: nothing held back.
   virtual DeltaBatch EndExecution() { return {}; }

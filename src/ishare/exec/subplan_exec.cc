@@ -34,6 +34,7 @@ SubplanExecutor::SubplanExecutor(
 SubplanExecutor::OpNode SubplanExecutor::BuildTree(const PlanNodePtr& node) {
   OpNode n;
   n.op = CreatePhysOp(node.get());
+  n.op->BindScheduler(opts_.sched_pool, opts_.sched);
   if (node->kind == PlanKind::kScan) {
     n.input_buffer = source_->buffer(node->table_name);
     if (n.input_buffer == nullptr) {
@@ -205,7 +206,7 @@ void SubplanExecutor::PublishStateBytes() {
   }
 }
 
-Result<ExecRecord> SubplanExecutor::RunExecution() {
+Result<ExecRecord> SubplanExecutor::ExecuteOnce() {
   ISHARE_RETURN_NOT_OK(init_status_);
   auto start = std::chrono::steady_clock::now();
   int64_t tuples_in = 0;
@@ -225,12 +226,21 @@ Result<ExecRecord> SubplanExecutor::RunExecution() {
   rec.tuples_in = tuples_in;
   rec.tuples_out = static_cast<int64_t>(out.size());
   last_total_work_ = total;
+  return rec;
+}
+
+void SubplanExecutor::PublishExecMetrics(const ExecRecord& rec) {
   exec_counter_->Add(1);
   work_counter_->Add(rec.work);
   tuples_in_counter_->Add(static_cast<double>(rec.tuples_in));
   tuples_out_counter_->Add(static_cast<double>(rec.tuples_out));
   subplan_work_counter_->Add(rec.work);
   obs::GlobalTracer().Record("exec.subplan.exec", rec.seconds);
+}
+
+Result<ExecRecord> SubplanExecutor::RunExecution() {
+  ISHARE_ASSIGN_OR_RETURN(ExecRecord rec, ExecuteOnce());
+  PublishExecMetrics(rec);
   return rec;
 }
 

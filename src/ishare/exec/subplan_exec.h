@@ -48,8 +48,24 @@ class SubplanExecutor {
   SubplanExecutor(const SubplanExecutor&) = delete;
   SubplanExecutor& operator=(const SubplanExecutor&) = delete;
 
-  // Executes one incremental step over all newly arrived input.
+  // Executes one incremental step over all newly arrived input and
+  // publishes the exec.subplan.* metrics. Equivalent to ExecuteOnce()
+  // followed by PublishExecMetrics().
   Result<ExecRecord> RunExecution();
+
+  // The compute half of RunExecution(): drains input, runs the operator
+  // tree, appends output, updates executor-local state — but publishes
+  // NO shared observability series. The parallel scheduler calls this
+  // from worker threads and then applies PublishExecMetrics serially in
+  // topo order, so float-valued counter sums accumulate in the same
+  // order as serial execution (the metrics half of the bit-exactness
+  // argument, DESIGN.md §10).
+  Result<ExecRecord> ExecuteOnce();
+
+  // The metrics half: adds `rec` to the exec.subplan.* counters and the
+  // exec.subplan.exec span. Must be called exactly once per successful
+  // ExecuteOnce(), from one thread at a time.
+  void PublishExecMetrics(const ExecRecord& rec);
 
   DeltaBuffer* output() const { return output_; }
 

@@ -8,37 +8,76 @@
 namespace ishare::flow {
 
 int MemoryBudget::Register(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   comps_.push_back(Component{std::move(name), 0, 0});
   return static_cast<int>(comps_.size()) - 1;
 }
 
 void MemoryBudget::Set(int id, int64_t bytes) {
-  CHECK(id >= 0 && id < num_components()) << "bad component id " << id;
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK(id >= 0 && id < static_cast<int>(comps_.size()))
+      << "bad component id " << id;
   CHECK(bytes >= 0) << "negative bytes for " << comps_[id].name;
   Component& c = comps_[static_cast<size_t>(id)];
   used_ += bytes - c.bytes;
   c.bytes = bytes;
   c.peak = std::max(c.peak, bytes);
   peak_ = std::max(peak_, used_);
-  Publish();
+  PublishLocked();
+}
+
+void MemoryBudget::Add(int id, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK(id >= 0 && id < static_cast<int>(comps_.size()))
+      << "bad component id " << id;
+  Component& c = comps_[static_cast<size_t>(id)];
+  const int64_t bytes = c.bytes + delta;
+  CHECK(bytes >= 0) << "negative bytes for " << c.name;
+  used_ += bytes - c.bytes;
+  c.bytes = bytes;
+  c.peak = std::max(c.peak, bytes);
+  peak_ = std::max(peak_, used_);
+  PublishLocked();
+}
+
+int64_t MemoryBudget::used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+int64_t MemoryBudget::peak() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+int MemoryBudget::num_components() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(comps_.size());
 }
 
 int64_t MemoryBudget::component_bytes(int id) const {
-  CHECK(id >= 0 && id < num_components()) << "bad component id " << id;
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK(id >= 0 && id < static_cast<int>(comps_.size()))
+      << "bad component id " << id;
   return comps_[static_cast<size_t>(id)].bytes;
 }
 
 int64_t MemoryBudget::component_peak(int id) const {
-  CHECK(id >= 0 && id < num_components()) << "bad component id " << id;
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK(id >= 0 && id < static_cast<int>(comps_.size()))
+      << "bad component id " << id;
   return comps_[static_cast<size_t>(id)].peak;
 }
 
-const std::string& MemoryBudget::component_name(int id) const {
-  CHECK(id >= 0 && id < num_components()) << "bad component id " << id;
+std::string MemoryBudget::component_name(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK(id >= 0 && id < static_cast<int>(comps_.size()))
+      << "bad component id " << id;
   return comps_[static_cast<size_t>(id)].name;
 }
 
 Status MemoryBudget::GrantHeadroom(int64_t bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!limited() || used_ + bytes <= budget_bytes_) return Status::OK();
   return Status::ResourceExhausted(
       "memory budget exhausted: used " + std::to_string(used_) + " + ask " +
@@ -46,12 +85,13 @@ Status MemoryBudget::GrantHeadroom(int64_t bytes) const {
 }
 
 void MemoryBudget::ResetPeaks() {
+  std::lock_guard<std::mutex> lock(mu_);
   peak_ = used_;
   for (Component& c : comps_) c.peak = c.bytes;
-  Publish();
+  PublishLocked();
 }
 
-void MemoryBudget::Publish() {
+void MemoryBudget::PublishLocked() {
   obs::Registry().GetGauge("flow.budget.budget_bytes").Set(
       static_cast<double>(budget_bytes_));
   obs::Registry().GetGauge("flow.budget.used_bytes").Set(

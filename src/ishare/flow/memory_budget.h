@@ -16,6 +16,7 @@
 #define ISHARE_FLOW_MEMORY_BUDGET_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,10 +25,15 @@
 namespace ishare::flow {
 
 // Tracks approximate bytes held by named components and arbitrates a
-// fixed budget between them. Single-threaded, like the executors it
-// serves. A budget of <= 0 means "track only": accounting and peaks are
-// maintained but nothing is ever over budget, which is how baseline runs
-// measure their working set.
+// fixed budget between them. Thread-safe: publishing and headroom
+// queries take an internal mutex, so components running on different
+// worker threads of the parallel scheduler (DESIGN.md §10) may publish
+// concurrently. used() stays deterministic under parallelism because
+// components publish *absolute* byte counts; peak() may legitimately
+// vary with interleaving and is reporting-only (never gated on, never
+// fingerprinted). A budget of <= 0 means "track only": accounting and
+// peaks are maintained but nothing is ever over budget, which is how
+// baseline runs measure their working set.
 //
 // Deliberately NOT checkpointed: usage is a pure function of current
 // engine state, so after a restore every component re-publishes its
@@ -44,22 +50,22 @@ class MemoryBudget {
   int Register(std::string name);
 
   void Set(int id, int64_t bytes);
-  void Add(int id, int64_t delta) { Set(id, component_bytes(id) + delta); }
+  void Add(int id, int64_t delta);
 
   int64_t budget_bytes() const { return budget_bytes_; }
-  int64_t used() const { return used_; }
-  int64_t peak() const { return peak_; }
-  int num_components() const { return static_cast<int>(comps_.size()); }
+  int64_t used() const;
+  int64_t peak() const;
+  int num_components() const;
   int64_t component_bytes(int id) const;
   int64_t component_peak(int id) const;
-  const std::string& component_name(int id) const;
+  std::string component_name(int id) const;
 
   bool limited() const { return budget_bytes_ > 0; }
-  bool OverBudget() const { return limited() && used_ > budget_bytes_; }
+  bool OverBudget() const { return limited() && used() > budget_bytes_; }
 
   // Fraction of the budget in use; 0 when unlimited. May exceed 1.
   double Pressure() const {
-    return limited() ? static_cast<double>(used_) /
+    return limited() ? static_cast<double>(used()) /
                            static_cast<double>(budget_bytes_)
                      : 0.0;
   }
@@ -82,9 +88,10 @@ class MemoryBudget {
     int64_t peak = 0;
   };
 
-  void Publish();
+  void PublishLocked();
 
-  int64_t budget_bytes_;
+  const int64_t budget_bytes_;
+  mutable std::mutex mu_;  // guards everything below
   int64_t used_ = 0;
   int64_t peak_ = 0;
   std::vector<Component> comps_;

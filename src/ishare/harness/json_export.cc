@@ -151,7 +151,9 @@ std::string BenchReportJson(
   w.Key("schema_version");
   // v2: added the top-level "recovery" block (DESIGN.md §8).
   // v3: added the top-level "flow" overload-control block (DESIGN.md §9).
-  w.Int(3);
+  // v4: added config.threads and the top-level "sched" block (DESIGN.md
+  //     §10).
+  w.Int(4);
   w.Key("generator");
   w.String("ishare");
   w.Key("bench");
@@ -165,6 +167,8 @@ std::string BenchReportJson(
   w.Int(info.max_pace);
   w.Key("seed");
   w.Int(static_cast<int64_t>(info.seed));
+  w.Key("threads");
+  w.Int(info.threads);
   w.Key("quick");
   w.Bool(info.quick);
   w.EndObject();
@@ -221,6 +225,22 @@ std::string BenchReportJson(
   w.Key("backpressure_events");
   SafeNumber(w, CounterOr0(metrics, "flow.backpressure.buffer_events") +
                     CounterOr0(metrics, "flow.backpressure.defer"));
+  w.EndObject();
+
+  // Parallel-scheduler rollup, from the sched.* metrics (DESIGN.md §10).
+  // All zeros for serial runs (num_threads == 1 never constructs a pool)
+  // — kept unconditionally, like "recovery" and "flow", so the schema is
+  // stable.
+  w.Key("sched");
+  w.BeginObject();
+  w.Key("pool_tasks");
+  SafeNumber(w, CounterOr0(metrics, "sched.pool.tasks"));
+  w.Key("pool_steals");
+  SafeNumber(w, CounterOr0(metrics, "sched.pool.steals"));
+  w.Key("parallel_fors");
+  SafeNumber(w, CounterOr0(metrics, "sched.pool.parallel_for"));
+  w.Key("step_waves");
+  SafeNumber(w, CounterOr0(metrics, "sched.step.waves"));
   w.EndObject();
 
   w.Key("metrics");

@@ -4,14 +4,16 @@
 // `--json=<path>` so reproduction runs are machine-checkable instead of
 // text-table-scrape-only.
 //
-// Schema (version 3, stable key order — see the golden file under
+// Schema (version 4, stable key order — see the golden file under
 // tests/golden/; v2 added the "recovery" block, DESIGN.md §8; v3 added
-// the "flow" overload-control block, DESIGN.md §9):
+// the "flow" overload-control block, DESIGN.md §9; v4 added
+// config.threads and the "sched" block, DESIGN.md §10):
 //   {
-//     "schema_version": 3,
+//     "schema_version": 4,
 //     "generator": "ishare",
 //     "bench": "<binary name>",
-//     "config": {"sf": ..., "max_pace": ..., "seed": ..., "quick": ...},
+//     "config": {"sf": ..., "max_pace": ..., "seed": ..., "threads": ...,
+//                "quick": ...},
 //     "results": [ { per-ExperimentResult block } ],
 //     "recovery": {"checkpoints": ..., "checkpoint_bytes": ...,
 //                  "torn_discarded": ..., "restores": ...,
@@ -22,6 +24,8 @@
 //              "trims": ..., "trimmed_tuples": ...,
 //              "shed_deferred_execs": ..., "shed_dropped_tuples": ...,
 //              "backpressure_events": ...},
+//     "sched": {"pool_tasks": ..., "pool_steals": ...,
+//               "parallel_fors": ..., "step_waves": ...},
 //     "metrics": {"counters": {...}, "gauges": {...},
 //                 "histograms": {name: {count, dropped, sum,
 //                                       p50, p95, p99,
@@ -48,6 +52,7 @@ struct BenchRunInfo {
   double sf = 0.01;
   int max_pace = 50;
   uint64_t seed = 7;
+  int threads = 1;  // scheduler worker threads (1 = serial path)
   bool quick = false;
 };
 

@@ -1,0 +1,31 @@
+// Tuning knobs for the parallel pace-boundary scheduler (DESIGN.md
+// section 10). The paper's pace-tuned shared plans (Sec. 4) leave several
+// independent subplans runnable at every pace boundary; `num_threads`
+// controls how many OS threads the owning executor may use to dispatch
+// them concurrently. `num_threads == 1` selects the fully serial legacy
+// path, byte-identical to the pre-scheduler executors.
+//
+// Header-only and dependency-free so exec/metrics.h can embed it in
+// ExecOptions without pulling in the worker pool.
+#ifndef ISHARE_SCHED_OPTIONS_H_
+#define ISHARE_SCHED_OPTIONS_H_
+
+#include <cstdint>
+
+namespace ishare {
+namespace sched {
+
+struct SchedulerOptions {
+  // Worker threads available to one executor. 1 = serial execution.
+  int num_threads = 1;
+
+  // Operators only split a delta batch into morsels when it has at least
+  // this many tuples; smaller batches run on the calling thread. Keeps
+  // tiny per-boundary deltas from paying fork/join overhead.
+  int64_t morsel_min_tuples = 2048;
+};
+
+}  // namespace sched
+}  // namespace ishare
+
+#endif  // ISHARE_SCHED_OPTIONS_H_

@@ -1,0 +1,42 @@
+#include "ishare/sched/wave.h"
+
+#include <algorithm>
+
+namespace ishare {
+namespace sched {
+
+namespace {
+
+// `order` must list ids children-before-parents. wave[id] = 0 when no
+// direct child of id is marked runnable, else 1 + max over runnable
+// children. One pass suffices because children precede parents.
+std::vector<std::vector<int>> GroupByWave(const SubplanGraph& graph,
+                                          const std::vector<int>& order) {
+  std::vector<int> wave(graph.num_subplans(), -1);
+  int max_wave = -1;
+  for (int s : order) {
+    int w = 0;
+    for (int c : graph.subplan(s).children) {
+      if (wave[c] >= 0) w = std::max(w, wave[c] + 1);
+    }
+    wave[s] = w;
+    max_wave = std::max(max_wave, w);
+  }
+  std::vector<std::vector<int>> waves(static_cast<size_t>(max_wave + 1));
+  for (int s : order) waves[wave[s]].push_back(s);
+  return waves;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> BuildWaves(const SubplanGraph& graph,
+                                         const std::vector<int>& runnable) {
+  return GroupByWave(graph, runnable);
+}
+
+std::vector<std::vector<int>> StaticLevels(const SubplanGraph& graph) {
+  return GroupByWave(graph, graph.TopoChildrenFirst());
+}
+
+}  // namespace sched
+}  // namespace ishare

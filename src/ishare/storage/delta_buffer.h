@@ -1,6 +1,7 @@
 #ifndef ISHARE_STORAGE_DELTA_BUFFER_H_
 #define ISHARE_STORAGE_DELTA_BUFFER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -51,6 +52,20 @@ struct BufferLimits {
 // Faults injected with a finite `times` are *transient* (kUnavailable by
 // convention) and auto-disarm, which is what the executors' retry/backoff
 // path (DESIGN.md §8) recovers from.
+//
+// Threading contract (single-writer / multi-reader, DESIGN.md §10):
+//  - Exactly one producer thread may Append/AppendBatch at a time.
+//  - While the producer appends, distinct consumer threads may
+//    concurrently call size(), Pending(c) and ConsumerOffset(c) for
+//    their own ids: the logical size is published through an atomic with
+//    release/acquire ordering, and the producer never touches offsets_.
+//    A Pending() observed mid-append is merely conservative (it may
+//    lag the in-flight batch; it never reads torn state).
+//  - Everything else — Consume*, TrimConsumed, Reset, Restore,
+//    registration, limit/budget changes — requires external ordering
+//    (the scheduler's wave barriers provide it: a consumer only drains a
+//    buffer after its producer's wave completed). Two threads acting as
+//    the *same* consumer must also be externally ordered.
 class DeltaBuffer {
  public:
   DeltaBuffer() = default;
@@ -62,8 +77,12 @@ class DeltaBuffer {
   void set_name(std::string name) { name_ = std::move(name); }
 
   // Total tuples ever appended (logical size; includes trimmed tuples).
+  // Safe to call from a consumer thread while the producer is appending:
+  // reads the atomically-published size, never log_.size() itself (that
+  // read would race with the producer's push_back and tear under tsan —
+  // pinned by storage_test's ConcurrentPendingDuringAppend).
   int64_t size() const {
-    return base_offset_ + static_cast<int64_t>(log_.size());
+    return logical_size_.load(std::memory_order_acquire);
   }
   // Tuples physically retained / already reclaimed by TrimConsumed().
   int64_t retained_size() const { return static_cast<int64_t>(log_.size()); }
@@ -74,11 +93,13 @@ class DeltaBuffer {
   void Append(DeltaTuple t) {
     retained_bytes_ += ApproxDeltaBytes(t);
     log_.push_back(std::move(t));
+    PublishSize();
     PublishBytes();
   }
   void AppendBatch(const DeltaBatch& batch) {
     for (const DeltaTuple& t : batch) retained_bytes_ += ApproxDeltaBytes(t);
     log_.insert(log_.end(), batch.begin(), batch.end());
+    PublishSize();
     PublishBytes();
   }
 
@@ -151,6 +172,7 @@ class DeltaBuffer {
     }
     log_.erase(log_.begin(), log_.begin() + n);
     base_offset_ = min_off;
+    PublishSize();
     obs::Registry().GetCounter("flow.trim.count").Add(1);
     obs::Registry().GetCounter("flow.trim.tuples").Add(static_cast<double>(n));
     PublishBytes();
@@ -195,6 +217,7 @@ class DeltaBuffer {
     backpressured_ = false;
     std::fill(offsets_.begin(), offsets_.end(), 0);
     ClearFault();
+    PublishSize();
     PublishBytes();
   }
 
@@ -263,6 +286,7 @@ class DeltaBuffer {
       retained_bytes_ += ApproxDeltaBytes(t);
       log_.push_back(std::move(t));
     }
+    PublishSize();
     PublishBytes();
     return RestoreOffsets(r);
   }
@@ -318,6 +342,16 @@ class DeltaBuffer {
     return CheckConsumerId(consumer);
   }
 
+  // Publishes the logical size for concurrent readers (threading contract
+  // above). Called after every mutation that changes base_offset_ or
+  // log_'s length; TrimConsumed leaves the logical size unchanged
+  // (base_offset_ absorbs the erased prefix) but republishes anyway for
+  // uniformity.
+  void PublishSize() {
+    logical_size_.store(base_offset_ + static_cast<int64_t>(log_.size()),
+                        std::memory_order_release);
+  }
+
   // Re-evaluates the watermark state and pushes retained bytes to the
   // attached budget. Called after every mutation of the retained log.
   void PublishBytes() {
@@ -340,6 +374,9 @@ class DeltaBuffer {
   std::string name_;
   std::vector<DeltaTuple> log_;
   std::vector<int64_t> offsets_;
+  // Published copy of base_offset_ + log_.size(); the only field a
+  // concurrent reader touches besides its own offsets_ slot.
+  std::atomic<int64_t> logical_size_{0};
   int64_t base_offset_ = 0;     // logical offset of log_[0]
   int64_t retained_bytes_ = 0;  // ApproxDeltaBytes sum over log_
   BufferLimits limits_;

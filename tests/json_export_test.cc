@@ -31,6 +31,7 @@ std::string GoldenDocument() {
   info.sf = 0.01;
   info.max_pace = 50;
   info.seed = 7;
+  info.threads = 4;
   info.quick = false;
 
   ExperimentResult r;
@@ -126,7 +127,7 @@ TEST(JsonExportGoldenTest, GoldenDocumentParsesBack) {
   ASSERT_TRUE(obs::ParseJson(GoldenDocument(), &v, &err)) << err;
   ASSERT_EQ(v.kind, obs::JsonValue::Kind::kObject);
   // Top-level key order is part of the schema contract.
-  ASSERT_GE(v.obj.size(), 8u);
+  ASSERT_GE(v.obj.size(), 9u);
   EXPECT_EQ(v.obj[0].first, "schema_version");
   EXPECT_EQ(v.obj[1].first, "generator");
   EXPECT_EQ(v.obj[2].first, "bench");
@@ -134,9 +135,11 @@ TEST(JsonExportGoldenTest, GoldenDocumentParsesBack) {
   EXPECT_EQ(v.obj[4].first, "results");
   EXPECT_EQ(v.obj[5].first, "recovery");
   EXPECT_EQ(v.obj[6].first, "flow");
-  EXPECT_EQ(v.obj[7].first, "metrics");
-  EXPECT_EQ(v.obj[8].first, "spans");
-  EXPECT_DOUBLE_EQ(v.Find("schema_version")->num, 3.0);
+  EXPECT_EQ(v.obj[7].first, "sched");
+  EXPECT_EQ(v.obj[8].first, "metrics");
+  EXPECT_EQ(v.obj[9].first, "spans");
+  EXPECT_DOUBLE_EQ(v.Find("schema_version")->num, 4.0);
+  EXPECT_DOUBLE_EQ(v.Find("config")->Find("threads")->num, 4.0);
 
   // The recovery rollup is present (all zeros here: the hand-crafted
   // snapshot has no recovery.* counters) with a stable key set.
@@ -160,6 +163,17 @@ TEST(JsonExportGoldenTest, GoldenDocumentParsesBack) {
   EXPECT_EQ(flow->obj[6].first, "shed_dropped_tuples");
   EXPECT_EQ(flow->obj[7].first, "backpressure_events");
   EXPECT_DOUBLE_EQ(flow->Find("budget_bytes")->num, 0.0);
+
+  // v4: the parallel-scheduler rollup, same always-present contract
+  // (zeros here: the hand-crafted snapshot has no sched.* counters).
+  const obs::JsonValue* sched = v.Find("sched");
+  ASSERT_NE(sched, nullptr);
+  ASSERT_EQ(sched->obj.size(), 4u);
+  EXPECT_EQ(sched->obj[0].first, "pool_tasks");
+  EXPECT_EQ(sched->obj[1].first, "pool_steals");
+  EXPECT_EQ(sched->obj[2].first, "parallel_fors");
+  EXPECT_EQ(sched->obj[3].first, "step_waves");
+  EXPECT_DOUBLE_EQ(sched->Find("pool_tasks")->num, 0.0);
 }
 
 TEST(JsonExportTest, RealExperimentExportRoundTrips) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "ishare/catalog/catalog.h"
 #include "ishare/storage/delta_buffer.h"
 #include "ishare/storage/stream_source.h"
@@ -48,6 +51,44 @@ TEST(DeltaBufferTest, ResetClearsLogAndOffsets) {
   EXPECT_EQ(buf.Pending(c).value(), 0);
   buf.Append(DeltaTuple({Value(int64_t{2})}, QuerySet::Single(0), 1));
   EXPECT_EQ(buf.ConsumeNew(c).value().size(), 1u);
+}
+
+// Pins the single-writer / multi-reader contract in delta_buffer.h: while
+// one producer thread appends, reader threads may poll size(), Pending()
+// and ConsumerOffset() for their own ids. The logical size is published
+// through an atomic, so every observed value must be a real prefix length
+// — monotone, and never beyond what the producer has finished appending.
+// (Before the atomic, readers raced on log_.size() mid-push_back; tsan
+// flags the old code on this exact test.)
+TEST(DeltaBufferTest, ConcurrentPendingDuringAppend) {
+  constexpr int64_t kAppends = 20000;
+  DeltaBuffer buf(OneCol(), "race");
+  int c = buf.RegisterConsumer();
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> ok{true};
+  std::thread reader([&] {
+    int64_t last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      int64_t pending = buf.Pending(c).value();
+      int64_t sz = buf.size();
+      if (pending < 0 || pending > kAppends || sz < last || sz > kAppends) {
+        ok.store(false);
+      }
+      last = sz;
+      if (buf.ConsumerOffset(c).value() != 0) ok.store(false);
+    }
+  });
+
+  for (int64_t i = 0; i < kAppends; ++i) {
+    buf.Append(DeltaTuple({Value(i)}, QuerySet::Single(0), 1));
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(buf.size(), kAppends);
+  EXPECT_EQ(buf.Pending(c).value(), kAppends);
 }
 
 std::vector<Row> MakeRows(int n) {
