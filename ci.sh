@@ -22,25 +22,31 @@ case "$mode" in
     # Only the suites that actually spawn threads: the worker pool and
     # wave scheduler (sched_test), the shedding/overload runtime whose
     # buffers carry the single-writer/multi-reader contract (flow_test),
-    # and the DeltaBuffer concurrent-append regression (storage_test).
-    # Running the whole serial suite under tsan would cost ~10x wall
-    # clock without exercising a single cross-thread access.
+    # the DeltaBuffer concurrent-append regression (storage_test), and
+    # the chaos suite whose worker-stall injection and mid-wave crash
+    # cycles run parallel waves under fault (chaos_test,
+    # crash_recovery_test). Running the whole serial suite under tsan
+    # would cost ~10x wall clock without exercising a single
+    # cross-thread access.
     cmake --preset tsan
     cmake --build --preset tsan -j "$(nproc)" \
-      --target sched_test flow_test storage_test
+      --target sched_test flow_test storage_test chaos_test crash_recovery_test
     ./build-tsan/tests/sched_test
     ./build-tsan/tests/flow_test
     ./build-tsan/tests/storage_test
+    ./build-tsan/tests/chaos_test
+    ./build-tsan/tests/crash_recovery_test
     ;;
   bench)
     cmake --preset default
     cmake --build --preset default -j "$(nproc)" \
-      --target bench_robustness bench_operators bench_obs_overhead bench_recovery bench_overload
+      --target bench_robustness bench_operators bench_obs_overhead bench_recovery bench_overload bench_chaos
     ./build/bench/bench_robustness --quick
     ./build/bench/bench_operators --benchmark_filter=ConsumeZeroCopy --benchmark_min_time=0.05
     ./build/bench/bench_obs_overhead --quick
     ./build/bench/bench_recovery --quick
     ./build/bench/bench_overload --quick
+    ./build/bench/bench_chaos --quick
     ;;
   docs)
     python3 tools/check_md_links.py

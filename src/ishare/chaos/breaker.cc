@@ -1,0 +1,92 @@
+#include "ishare/chaos/breaker.h"
+
+#include <utility>
+
+#include "ishare/obs/obs.h"
+
+namespace ishare::chaos {
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(std::string name, BreakerOptions opts)
+    : name_(std::move(name)), opts_(opts) {}
+
+void CircuitBreaker::MoveTo(BreakerState to, int64_t step,
+                            const std::string& cause) {
+  if (to == state_) return;
+  transitions_.push_back({name_, step, state_, to, cause});
+  auto& reg = obs::Registry();
+  if (to == BreakerState::kOpen) {
+    ++trips_;
+    reg.GetCounter("chaos.breaker.trip").Add(1);
+    reg.GetCounter("chaos.breaker.trip#" + name_).Add(1);
+  } else if (to == BreakerState::kHalfOpen) {
+    reg.GetCounter("chaos.breaker.half_open").Add(1);
+  } else {
+    reg.GetCounter("chaos.breaker.close").Add(1);
+  }
+  state_ = to;
+}
+
+BreakerState CircuitBreaker::StateAt(int64_t step) {
+  if (state_ == BreakerState::kOpen &&
+      step - opened_at_step_ >= opts_.open_steps) {
+    half_open_successes_ = 0;
+    MoveTo(BreakerState::kHalfOpen, step,
+           "cooldown elapsed (" + std::to_string(opts_.open_steps) +
+               " steps)");
+  }
+  return state_;
+}
+
+void CircuitBreaker::RecordSuccess(int64_t step) {
+  switch (StateAt(step)) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (++half_open_successes_ >= opts_.success_threshold) {
+        consecutive_failures_ = 0;
+        MoveTo(BreakerState::kClosed, step,
+               std::to_string(half_open_successes_) +
+                   " half-open successes");
+      }
+      break;
+    case BreakerState::kOpen:
+      // No requests flow while open; a stray success (e.g. an in-flight
+      // op completing) neither closes nor resets anything.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure(int64_t step, const std::string& cause) {
+  switch (StateAt(step)) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= opts_.failure_threshold) {
+        opened_at_step_ = step;
+        MoveTo(BreakerState::kOpen, step, cause);
+      }
+      break;
+    case BreakerState::kHalfOpen:
+      // Hysteresis: one failed probe re-trips immediately — recovery must
+      // be proven success_threshold times, failure only once.
+      opened_at_step_ = step;
+      MoveTo(BreakerState::kOpen, step, cause);
+      break;
+    case BreakerState::kOpen:
+      opened_at_step_ = step;  // extend the cooldown
+      break;
+  }
+}
+
+}  // namespace ishare::chaos

@@ -1,0 +1,89 @@
+// ishare::chaos — per-subsystem circuit breakers (DESIGN.md §11).
+//
+// A breaker condenses a stream of per-step success/failure observations
+// about one subsystem (checkpoint store, stream source, memory budget)
+// into a three-state machine the Supervisor keys its policy off:
+//
+//   closed ──(failure_threshold consecutive failures)──► open
+//   open ──(open_steps virtual steps elapsed)──► half-open
+//   half-open ──(success_threshold consecutive successes)──► closed
+//   half-open ──(any failure)──► open          (re-trip, hysteresis)
+//
+// Time is *virtual*: the cooldown is measured in executor steps, never
+// wall clock, so every chaos schedule replays identically from its seed.
+// Each transition is recorded with the step and the cause that drove it
+// (the failing Status message, or the cooldown/recovery rule); the chaos
+// harness cross-checks every trip against an injected fault event.
+
+#ifndef ISHARE_CHAOS_BREAKER_H_
+#define ISHARE_CHAOS_BREAKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ishare::chaos {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState s);
+
+struct BreakerOptions {
+  // Consecutive failures in the closed state that trip the breaker.
+  int failure_threshold = 3;
+  // Virtual steps the breaker stays open before probing half-open.
+  int64_t open_steps = 2;
+  // Consecutive half-open successes required to fully close again.
+  int success_threshold = 2;
+};
+
+// One state change, with the observation that caused it. `cause` carries
+// the failing Status message for trips; attribution (chaos harness) maps
+// it back to the injected fault event.
+struct BreakerTransition {
+  std::string breaker;  // owning breaker's name
+  int64_t step = 0;
+  BreakerState from = BreakerState::kClosed;
+  BreakerState to = BreakerState::kClosed;
+  std::string cause;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(std::string name, BreakerOptions opts = {});
+
+  // Feeds one observation made during step `step`. Steps must be
+  // non-decreasing across calls (the Supervisor observes once per step).
+  void RecordSuccess(int64_t step);
+  void RecordFailure(int64_t step, const std::string& cause);
+
+  // State as of step `step`; promotes open → half-open lazily once the
+  // cooldown has elapsed (recorded as a transition at that step).
+  BreakerState StateAt(int64_t step);
+
+  // True when requests may be sent to the subsystem: closed always,
+  // half-open as a probe, open never.
+  bool AllowRequest(int64_t step) { return StateAt(step) != BreakerState::kOpen; }
+
+  const std::string& name() const { return name_; }
+  int trips() const { return trips_; }
+  const std::vector<BreakerTransition>& transitions() const {
+    return transitions_;
+  }
+
+ private:
+  void MoveTo(BreakerState to, int64_t step, const std::string& cause);
+
+  const std::string name_;
+  const BreakerOptions opts_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  int64_t opened_at_step_ = 0;
+  int trips_ = 0;
+  std::vector<BreakerTransition> transitions_;
+};
+
+}  // namespace ishare::chaos
+
+#endif  // ISHARE_CHAOS_BREAKER_H_

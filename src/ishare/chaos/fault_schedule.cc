@@ -1,0 +1,237 @@
+#include "ishare/chaos/fault_schedule.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ishare/common/rng.h"
+#include "ishare/obs/obs.h"
+
+namespace ishare::chaos {
+
+const char* ChaosLayerName(ChaosLayer layer) {
+  switch (layer) {
+    case ChaosLayer::kSourcePerturb:
+      return "source";
+    case ChaosLayer::kBufferStorm:
+      return "buffer";
+    case ChaosLayer::kStoreTransient:
+      return "store";
+    case ChaosLayer::kStoreBitRot:
+      return "bitrot";
+    case ChaosLayer::kMemoryPressure:
+      return "memory";
+    case ChaosLayer::kWorkerStall:
+      return "worker";
+  }
+  return "?";
+}
+
+std::string ChaosEvent::ToString() const {
+  std::string s = ChaosLayerName(layer);
+  s += "@" + std::to_string(step);
+  s += " count=" + std::to_string(count);
+  s += " mag=" + std::to_string(magnitude);
+  return s;
+}
+
+Status FaultSchedule::Validate() const {
+  ISHARE_RETURN_NOT_OK(source_plan.Validate());
+  for (const ChaosEvent& ev : events) {
+    if (ev.step < 1) {
+      return Status::InvalidArgument("chaos event step must be >= 1: " +
+                                     ev.ToString());
+    }
+    if (ev.count < -1 || ev.count == 0) {
+      return Status::InvalidArgument(
+          "chaos event count must be positive or -1 (forever): " +
+          ev.ToString());
+    }
+    if (ev.magnitude < 0) {
+      return Status::InvalidArgument("chaos event magnitude must be >= 0: " +
+                                     ev.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string s = "seed=" + std::to_string(seed);
+  if (!source_plan.empty()) s += " source{" + source_plan.ToString() + "}";
+  for (const ChaosEvent& ev : events) s += " [" + ev.ToString() + "]";
+  return s;
+}
+
+FaultSchedule FaultSchedule::Random(uint64_t seed,
+                                    const ChaosScheduleOptions& opts,
+                                    const std::vector<std::string>& tables) {
+  FaultSchedule out;
+  out.seed = seed;
+  if (opts.num_source_events > 0) {
+    out.source_plan =
+        FaultPlan::Random(seed ^ 0x5042ce0ULL, opts.num_source_events, tables);
+  }
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xc4a05);
+  for (int i = 0; i < opts.num_events; ++i) {
+    ChaosEvent ev;
+    ev.step = rng.UniformInt(1, std::max<int64_t>(opts.max_step, 1));
+    switch (rng.UniformInt(0, 4)) {
+      case 0:
+        ev.layer = ChaosLayer::kBufferStorm;
+        ev.count = rng.UniformInt(1, std::max<int64_t>(opts.max_buffer_faults, 1));
+        break;
+      case 1:
+        ev.layer = ChaosLayer::kStoreTransient;
+        if (rng.Bernoulli(opts.forever_outage_probability)) {
+          ev.count = -1;
+        } else if (rng.Bernoulli(opts.outage_probability)) {
+          ev.count = opts.outage_count;
+        } else {
+          ev.count =
+              rng.UniformInt(1, std::max<int64_t>(opts.max_transient_count, 1));
+        }
+        break;
+      case 2:
+        ev.layer = ChaosLayer::kStoreBitRot;
+        break;
+      case 3:
+        ev.layer = ChaosLayer::kMemoryPressure;
+        ev.count = rng.UniformInt(1, std::max<int64_t>(opts.max_pressure_steps, 1));
+        ev.magnitude = rng.UniformDouble(0.25, opts.max_pressure_magnitude);
+        break;
+      default:
+        ev.layer = ChaosLayer::kWorkerStall;
+        ev.count = rng.UniformInt(1, std::max<int64_t>(opts.max_stall_tasks, 1));
+        ev.magnitude = rng.UniformDouble(0, opts.max_stall_seconds);
+        break;
+    }
+    out.events.push_back(ev);
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.step < b.step;
+                   });
+  return out;
+}
+
+ChaosInjector::ChaosInjector(FaultSchedule schedule, Targets targets)
+    : schedule_(std::move(schedule)), targets_(targets) {
+  std::stable_sort(schedule_.events.begin(), schedule_.events.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.step < b.step;
+                   });
+  // The source plan is realized at source construction, before any step;
+  // log it so source-breaker trips have an injected cause to attach to.
+  if (!schedule_.source_plan.empty()) {
+    Record(0, ChaosLayer::kSourcePerturb, schedule_.source_plan.ToString());
+  }
+}
+
+void ChaosInjector::Record(int64_t step, ChaosLayer layer,
+                           std::string detail) {
+  log_.push_back({step, layer, std::move(detail)});
+  obs::Registry().GetCounter("chaos.fault.injected").Add(1);
+}
+
+bool ChaosInjector::AnyInjected(ChaosLayer layer, int64_t by_step) const {
+  for (const InjectionRecord& r : log_) {
+    if (r.layer == layer && r.step <= by_step) return true;
+  }
+  return false;
+}
+
+void ChaosInjector::Apply(const ChaosEvent& ev) {
+  switch (ev.layer) {
+    case ChaosLayer::kSourcePerturb:
+      // Carried by the FaultPlan, realized at source construction.
+      break;
+    case ChaosLayer::kBufferStorm: {
+      if (targets_.source == nullptr) return;
+      int armed = 0;
+      for (const std::string& name : targets_.source->TableNames()) {
+        DeltaBuffer* buf = targets_.source->buffer(name);
+        if (buf == nullptr) continue;
+        buf->InjectFault(
+            Status::Unavailable("chaos: admission storm step " +
+                                std::to_string(ev.step)),
+            ev.count);
+        ++armed;
+      }
+      if (armed > 0) {
+        Record(ev.step, ev.layer,
+               "base-buffer storm x" + std::to_string(ev.count) + " on " +
+                   std::to_string(armed) + " tables");
+      }
+      break;
+    }
+    case ChaosLayer::kStoreTransient:
+      if (targets_.store == nullptr) return;
+      targets_.store->InjectWriteFault(
+          Status::Unavailable("chaos: store outage step " +
+                              std::to_string(ev.step)),
+          ev.count);
+      Record(ev.step, ev.layer,
+             ev.count < 0 ? "store outage (forever)"
+                          : "store outage x" + std::to_string(ev.count));
+      break;
+    case ChaosLayer::kStoreBitRot: {
+      if (targets_.store == nullptr) return;
+      std::vector<int64_t> epochs = targets_.store->CommittedEpochs();
+      if (epochs.empty()) return;  // nothing committed yet: no rot to plant
+      targets_.store->CorruptCommitted(epochs.back(),
+                                       "chaos-bit-rot-garbage");
+      Record(ev.step, ev.layer,
+             "corrupted committed epoch " + std::to_string(epochs.back()));
+      break;
+    }
+    case ChaosLayer::kMemoryPressure: {
+      if (targets_.budget == nullptr) return;
+      int64_t base = targets_.budget->limited()
+                         ? targets_.budget->budget_bytes()
+                         : int64_t{1} << 20;
+      int64_t bytes =
+          static_cast<int64_t>(ev.magnitude * static_cast<double>(base));
+      if (bytes <= 0) return;
+      spikes_.push_back({ev.step + ev.count - 1, bytes});
+      Record(ev.step, ev.layer,
+             "pressure spike " + std::to_string(bytes) + "B for " +
+                 std::to_string(ev.count) + " steps");
+      break;
+    }
+    case ChaosLayer::kWorkerStall:
+      if (targets_.pool == nullptr) return;
+      targets_.pool->InjectDelay(ev.count, ev.magnitude);
+      Record(ev.step, ev.layer,
+             "stalled " + std::to_string(ev.count) + " tasks x" +
+                 std::to_string(ev.magnitude) + "s");
+      break;
+  }
+}
+
+Status ChaosInjector::OnStepBoundary(int64_t completed) {
+  const int64_t next_step = completed + 1;
+  while (next_event_ < schedule_.events.size() &&
+         schedule_.events[next_event_].step <= next_step) {
+    Apply(schedule_.events[next_event_]);
+    ++next_event_;
+  }
+  if (targets_.budget != nullptr) {
+    // Retire spikes whose hold window ended with `completed`, then
+    // publish the sum of the survivors as one absolute component.
+    spikes_.erase(std::remove_if(spikes_.begin(), spikes_.end(),
+                                 [completed](const PressureSpike& s) {
+                                   return s.until_step <= completed;
+                                 }),
+                  spikes_.end());
+    int64_t total = 0;
+    for (const PressureSpike& s : spikes_) total += s.bytes;
+    if (total > 0 && pressure_component_ < 0) {
+      pressure_component_ = targets_.budget->Register("chaos:pressure");
+    }
+    if (pressure_component_ >= 0) {
+      targets_.budget->Set(pressure_component_, total);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ishare::chaos

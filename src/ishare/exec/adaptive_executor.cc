@@ -96,6 +96,11 @@ void AdaptiveExecutor::RecomputePredictions() {
   for (size_t q = 0; q < constraints_.size(); ++q) {
     double corrected = corrected_ratio_ * cost.query_final_work[q];
     at_risk[q] = corrected >= constraints_[q] * (1.0 - policy_.risk_margin);
+    // Zero-slack admission is a standing commitment: drift corrections
+    // never talk the policy out of protecting these queries.
+    if (q < zero_slack_sticky_.size() && zero_slack_sticky_[q]) {
+      at_risk[q] = true;
+    }
   }
   // Time slackness (DESIGN.md §9): the shedding policy's ranking. A
   // subplan is only as expendable as the least-slack query it serves,
@@ -141,7 +146,12 @@ Status AdaptiveExecutor::BeginWindow(const PaceConfig& initial_paces) {
   ISHARE_RETURN_NOT_OK(ValidatePaceConfig(*graph_, initial_paces));
   paces_ = initial_paces;
   corrected_ratio_ = 1.0;
+  zero_slack_sticky_.assign(constraints_.size(), false);
   RecomputePredictions();
+  for (size_t q = 0; q < slack_.size() && q < zero_slack_sticky_.size();
+       ++q) {
+    zero_slack_sticky_[q] = slack_[q] <= 1e-9;
+  }
   ws_ = WindowState{};
   ws_.out.run.subplans.resize(graph_->num_subplans());
   ws_.out.stats.pace_history.push_back(paces_);
@@ -207,6 +217,7 @@ Status AdaptiveExecutor::RunLevelsParallel(const Fraction& f, int64_t step,
   std::vector<char> was_catchup(n, 0);
   std::vector<Status> statuses(n);
   std::vector<ExecRecord> records(n);
+  int wave = 0;  // 0-based index among this step's dispatched levels
   for (const std::vector<int>& level : levels_) {
     std::vector<int> to_run;
     for (int s : level) {
@@ -253,6 +264,8 @@ Status AdaptiveExecutor::RunLevelsParallel(const Fraction& f, int64_t step,
         ISHARE_RETURN_NOT_OK(statuses[s]);
       }
     }
+    if (after_wave_) ISHARE_RETURN_NOT_OK(after_wave_(step, wave));
+    ++wave;
   }
   for (int s : graph_->TopoChildrenFirst()) {
     if (!ran[s]) continue;
@@ -498,6 +511,8 @@ Status AdaptiveExecutor::SnapshotImpl(recovery::CheckpointWriter* w,
   w->U64(paces_.size());
   for (int p : paces_) w->I64(p);
   w->F64(corrected_ratio_);
+  w->U64(zero_slack_sticky_.size());
+  for (bool b : zero_slack_sticky_) w->I64(b ? 1 : 0);
   w->I64(ws_.last_point.num);
   w->I64(ws_.last_point.den);
   w->U64(ws_.points.size());
@@ -558,6 +573,16 @@ Status AdaptiveExecutor::Restore(recovery::CheckpointReader* r) {
   }
   paces_ = paces;
   corrected_ratio_ = r->F64();
+  uint64_t nsticky = r->U64();
+  if (nsticky > r->remaining()) {
+    r->Fail("checkpoint zero-slack flag vector exceeds payload");
+    return r->status();
+  }
+  zero_slack_sticky_.assign(nsticky, false);
+  for (uint64_t i = 0; i < nsticky; ++i) {
+    zero_slack_sticky_[i] = r->I64() != 0;
+  }
+  if (!r->ok()) return r->status();
 
   ws_ = WindowState{};
   int64_t lp_num = r->I64();

@@ -131,6 +131,10 @@ class AdaptiveExecutor : public recovery::Checkpointable {
  public:
   using StepHook = std::function<Status(int64_t step)>;
   using SubplanHook = std::function<Status(int64_t step, int subplan)>;
+  // Fires after dependency level `wave` (0-based index among the step's
+  // dispatched levels) finishes executing, before any metrics publish;
+  // see PaceExecutor::WaveHook. Parallel path only.
+  using WaveHook = std::function<Status(int64_t step, int wave)>;
 
   // `estimator` supplies the prediction baseline and the re-derivation
   // search space; `abs_constraints` are absolute final-work constraints
@@ -156,6 +160,19 @@ class AdaptiveExecutor : public recovery::Checkpointable {
   void set_after_step_hook(StepHook h) { after_step_ = std::move(h); }
   void set_before_subplan_hook(SubplanHook h) {
     before_subplan_ = std::move(h);
+  }
+  void set_after_wave_hook(WaveHook h) { after_wave_ = std::move(h); }
+
+  // Owned worker pool, or nullptr when the executor runs serial (always
+  // nullptr when a memory budget is attached; see the ctor). The chaos
+  // injector targets it for worker stall/delay events.
+  sched::WorkerPool* worker_pool() const { return pool_.get(); }
+
+  // Live flow-control ledger and drop log of the window in flight; the
+  // chaos Supervisor polls these per step to derive defer/shed activity.
+  const flow::FlowStats& flow_stats() const { return ws_.out.flow; }
+  const std::vector<ShedDropEvent>& drop_log() const {
+    return ws_.out.drop_log;
   }
 
   // Checkpointable (DESIGN.md §8): pace table + drift state + remaining
@@ -230,6 +247,12 @@ class AdaptiveExecutor : public recovery::Checkpointable {
   std::vector<double> pred_nonfinal_;  // per-subplan avg intermediate work
   double pred_total_ = 0;              // whole-window work under paces_
   std::vector<bool> protective_;       // subplan serves an at-risk query
+  // Queries admitted with zero initial slackness (window-start slack
+  // <= 1e-9, before any drift correction). Their at-risk status is
+  // sticky: a mid-window drift estimate that predicts spare headroom is
+  // never grounds to shed work the window was admitted with no slack
+  // for. Serialized in checkpoints so recovery preserves the guarantee.
+  std::vector<bool> zero_slack_sticky_;
   std::vector<double> slack_;          // per-query time slackness [0, 1]
   std::vector<double> subplan_slack_;  // min slack over the served queries
   std::vector<bool> sheddable_;        // == !protective_, the shed universe
@@ -253,6 +276,7 @@ class AdaptiveExecutor : public recovery::Checkpointable {
   WindowState ws_;
   StepHook after_step_;
   SubplanHook before_subplan_;
+  WaveHook after_wave_;
 
   // Owned worker pool (nullptr = serial) and the graph's static
   // dependency levels; both fixed at construction (DESIGN.md §10).

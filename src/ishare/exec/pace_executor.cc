@@ -300,7 +300,8 @@ Status PaceExecutor::StepParallel(const Fraction& f, int64_t step,
   obs::Registry().GetCounter("sched.step.waves")
       .Add(static_cast<double>(waves.size()));
   bool failed = false;
-  for (const std::vector<int>& wave : waves) {
+  for (size_t w = 0; w < waves.size(); ++w) {
+    const std::vector<int>& wave = waves[w];
     pool_->ParallelFor(static_cast<int64_t>(wave.size()), [&](int64_t i) {
       int s = wave[static_cast<size_t>(i)];
       Result<ExecRecord> r = executors_[s]->ExecuteOnce();
@@ -314,6 +315,9 @@ Status PaceExecutor::StepParallel(const Fraction& f, int64_t step,
       if (!statuses[s].ok()) failed = true;
     }
     if (failed) break;  // don't feed parents a failed child's partial delta
+    if (after_wave_) {
+      ISHARE_RETURN_NOT_OK(after_wave_(step, static_cast<int>(w)));
+    }
   }
   if (failed) {
     // Surface the first error in topo order; no metrics are published for

@@ -105,6 +105,12 @@ class PaceExecutor : public recovery::Checkpointable {
   using StepHook = std::function<Status(int64_t step)>;
   // Called right before subplan `subplan` executes within step `step`.
   using SubplanHook = std::function<Status(int64_t step, int subplan)>;
+  // Called after dependency wave `wave` (0-based) of step `step` finishes
+  // executing but before any of the step's metrics publish — the window
+  // in which a crash loses a parallel step's partial results wholesale.
+  // Only fires on the wave-parallel path (never in serial runs); the
+  // crash harness's kMidWave kill-point lands here.
+  using WaveHook = std::function<Status(int64_t step, int wave)>;
 
   // The stream source must be freshly constructed or Reset().
   PaceExecutor(const SubplanGraph* graph, StreamSource* source,
@@ -132,6 +138,11 @@ class PaceExecutor : public recovery::Checkpointable {
   void set_before_subplan_hook(SubplanHook h) {
     before_subplan_ = std::move(h);
   }
+  void set_after_wave_hook(WaveHook h) { after_wave_ = std::move(h); }
+
+  // Owned worker pool, or nullptr when the executor runs serial. The
+  // chaos injector targets it for worker stall/delay events.
+  sched::WorkerPool* worker_pool() const { return pool_.get(); }
 
   // Checkpointable: pace table, step counter, accumulated stats, and the
   // whole execution substrate. Restore must be called on an executor that
@@ -186,6 +197,7 @@ class PaceExecutor : public recovery::Checkpointable {
   bool active_ = false;
   StepHook after_step_;
   SubplanHook before_subplan_;
+  WaveHook after_wave_;
   // Aggregated base-buffer bytes component in opts_.flow.budget (-1 when
   // no budget). Base buffers belong to the shared source, so they are
   // polled into one component rather than attached, keeping the source

@@ -148,6 +148,16 @@ Result<CrashRunReport> RunImpl(int num_queries, MakeExec make_exec,
           }
           return Status::OK();
         });
+    // Kill between a step's parallel waves: some subplans of the step have
+    // executed (and published buffers), the rest never will. Recovery must
+    // restore a cut that never exposes the half-finished step.
+    exec->set_after_wave_hook([&plan](int64_t step, int wave) -> Status {
+      if (plan.phase == CrashPhase::kMidWave && step == plan.step &&
+          wave == plan.wave) {
+        return Status::Internal(kCrashMarker);
+      }
+      return Status::OK();
+    });
     Result<R> res = run_whole(*exec);
     if (res.ok()) {
       // The plan never fired (kNone, or it targeted a step past the end

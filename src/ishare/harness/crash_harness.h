@@ -36,12 +36,17 @@ enum class CrashPhase {
                            // executes within step `step`
   kBetweenStageAndCommit,  // after step `step`'s checkpoint is staged in
                            // the store but before it commits (torn write)
+  kMidWave,                // mid-step, right after parallel wave `wave` of
+                           // step `step` finishes on the pool (fires only
+                           // when the executor runs parallel waves; serial
+                           // runs complete as a control)
 };
 
 struct CrashPlan {
   CrashPhase phase = CrashPhase::kNone;
   int64_t step = 0;  // 1-based event-point index the crash targets
   int subplan = 0;   // only read for kDuringSubplan
+  int wave = 0;      // only read for kMidWave (0-based wave index)
 };
 
 struct CrashRecoveryOptions {

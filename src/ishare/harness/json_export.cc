@@ -153,7 +153,9 @@ std::string BenchReportJson(
   // v3: added the top-level "flow" overload-control block (DESIGN.md §9).
   // v4: added config.threads and the top-level "sched" block (DESIGN.md
   //     §10).
-  w.Int(4);
+  // v5: added the top-level "chaos" block and the recovery block's
+  //     checkpoint-health keys (DESIGN.md §11).
+  w.Int(5);
   w.Key("generator");
   w.String("ishare");
   w.Key("bench");
@@ -201,6 +203,11 @@ std::string BenchReportJson(
   SafeNumber(w, CounterOr0(metrics, "recovery.retry.exhausted"));
   w.Key("retry_backoff_seconds");
   SafeNumber(w, CounterOr0(metrics, "recovery.retry.backoff_seconds"));
+  w.Key("consecutive_failures");
+  SafeNumber(w,
+             GaugeOr0(metrics, "recovery.checkpoint.consecutive_failures"));
+  w.Key("last_commit_epoch");
+  SafeNumber(w, GaugeOr0(metrics, "recovery.checkpoint.last_commit_epoch"));
   w.EndObject();
 
   // Overload-control rollup, from the flow.* metrics (DESIGN.md §9). All
@@ -241,6 +248,34 @@ std::string BenchReportJson(
   SafeNumber(w, CounterOr0(metrics, "sched.pool.parallel_for"));
   w.Key("step_waves");
   SafeNumber(w, CounterOr0(metrics, "sched.step.waves"));
+  w.EndObject();
+
+  // Chaos/supervision rollup, from the chaos.* metrics (DESIGN.md §11).
+  // All zeros for unsupervised runs — kept unconditionally, like the
+  // other rollups, so the schema is stable.
+  w.Key("chaos");
+  w.BeginObject();
+  w.Key("service_level");
+  SafeNumber(w, GaugeOr0(metrics, "chaos.ladder.level"));
+  w.Key("ladder_transitions");
+  SafeNumber(w, CounterOr0(metrics, "chaos.ladder.transitions"));
+  w.Key("breaker_trips");
+  SafeNumber(w, CounterOr0(metrics, "chaos.breaker.trip"));
+  w.Key("breaker_half_opens");
+  SafeNumber(w, CounterOr0(metrics, "chaos.breaker.half_open"));
+  w.Key("breaker_closes");
+  SafeNumber(w, CounterOr0(metrics, "chaos.breaker.close"));
+  w.Key("faults_injected");
+  SafeNumber(w, CounterOr0(metrics, "chaos.fault.injected"));
+  w.Key("checkpoints_skipped");
+  SafeNumber(w, CounterOr0(metrics, "chaos.supervisor.checkpoints_skipped"));
+  w.Key("checkpoints_stretched");
+  SafeNumber(w,
+             CounterOr0(metrics, "chaos.supervisor.checkpoints_stretched"));
+  w.Key("defer_signals");
+  SafeNumber(w, CounterOr0(metrics, "chaos.supervisor.defer_signals"));
+  w.Key("safe_stops");
+  SafeNumber(w, CounterOr0(metrics, "chaos.supervisor.safe_stops"));
   w.EndObject();
 
   w.Key("metrics");

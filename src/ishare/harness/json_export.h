@@ -4,12 +4,14 @@
 // `--json=<path>` so reproduction runs are machine-checkable instead of
 // text-table-scrape-only.
 //
-// Schema (version 4, stable key order — see the golden file under
+// Schema (version 5, stable key order — see the golden file under
 // tests/golden/; v2 added the "recovery" block, DESIGN.md §8; v3 added
 // the "flow" overload-control block, DESIGN.md §9; v4 added
-// config.threads and the "sched" block, DESIGN.md §10):
+// config.threads and the "sched" block, DESIGN.md §10; v5 added the
+// "chaos" supervision block and the recovery block's checkpoint-health
+// keys, DESIGN.md §11):
 //   {
-//     "schema_version": 4,
+//     "schema_version": 5,
 //     "generator": "ishare",
 //     "bench": "<binary name>",
 //     "config": {"sf": ..., "max_pace": ..., "seed": ..., "threads": ...,
@@ -19,13 +21,19 @@
 //                  "torn_discarded": ..., "restores": ...,
 //                  "replayed_deltas": ..., "retry_attempts": ...,
 //                  "retry_success": ..., "retry_exhausted": ...,
-//                  "retry_backoff_seconds": ...},
+//                  "retry_backoff_seconds": ...,
+//                  "consecutive_failures": ..., "last_commit_epoch": ...},
 //     "flow": {"budget_bytes": ..., "used_bytes": ..., "peak_bytes": ...,
 //              "trims": ..., "trimmed_tuples": ...,
 //              "shed_deferred_execs": ..., "shed_dropped_tuples": ...,
 //              "backpressure_events": ...},
 //     "sched": {"pool_tasks": ..., "pool_steals": ...,
 //               "parallel_fors": ..., "step_waves": ...},
+//     "chaos": {"service_level": ..., "ladder_transitions": ...,
+//               "breaker_trips": ..., "breaker_half_opens": ...,
+//               "breaker_closes": ..., "faults_injected": ...,
+//               "checkpoints_skipped": ..., "checkpoints_stretched": ...,
+//               "defer_signals": ..., "safe_stops": ...},
 //     "metrics": {"counters": {...}, "gauges": {...},
 //                 "histograms": {name: {count, dropped, sum,
 //                                       p50, p95, p99,

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "ishare/harness/result_compare.h"
 #include "ishare/obs/obs.h"
 
 namespace ishare {
@@ -25,47 +26,8 @@ int ComponentSubplan(const std::string& name) {
   return std::stoi(name.substr(sep + 8));
 }
 
-// Result-map equality for gate 5. Integer and string cells must match
-// bit-for-bit; float cells get a tight relative tolerance (1e-9), because
-// deferral re-batches join/aggregate executions and floating-point sums
-// accumulate in a different order — a real shedding bug changes sums by
-// whole tuples, far outside the tolerance. The pure bit-exact form of the
-// property is pinned by flow_test on integer-only plans.
-bool RowsEquivalent(const Row& a, const Row& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a[i].is_string() || b[i].is_string() ||
-        (a[i].is_int() && b[i].is_int())) {
-      if (!(a[i] == b[i])) return false;
-    } else {
-      double x = a[i].AsDouble(), y = b[i].AsDouble();
-      double scale = std::max({1.0, std::abs(x), std::abs(y)});
-      if (std::abs(x - y) > 1e-9 * scale) return false;
-    }
-  }
-  return true;
-}
-
-bool ResultsEquivalent(
-    const std::unordered_map<Row, int64_t, RowHasher>& a,
-    const std::unordered_map<Row, int64_t, RowHasher>& b) {
-  if (a.size() != b.size()) return false;
-  std::vector<std::pair<Row, int64_t>> unmatched(b.begin(), b.end());
-  for (const auto& [row, count] : a) {
-    bool found = false;
-    for (size_t i = 0; i < unmatched.size(); ++i) {
-      if (unmatched[i].second == count &&
-          RowsEquivalent(row, unmatched[i].first)) {
-        unmatched[i] = unmatched.back();
-        unmatched.pop_back();
-        found = true;
-        break;
-      }
-    }
-    if (!found) return false;
-  }
-  return true;
-}
+// Result-map equality for gate 5 lives in result_compare.h
+// (RowsEquivalent / ResultsEquivalent), shared with the chaos harness.
 
 struct PassResult {
   std::unique_ptr<StreamSource> source;

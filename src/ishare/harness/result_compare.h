@@ -1,0 +1,61 @@
+// Shared result-equivalence predicates for the robustness harnesses
+// (overload, chaos). Integer and string cells must match bit-for-bit;
+// float cells get a tight relative tolerance (1e-9), because deferral and
+// perturbed arrival re-batch join/aggregate executions and floating-point
+// sums accumulate in a different order — a real shedding or supervision
+// bug changes sums by whole tuples, far outside the tolerance. The pure
+// bit-exact forms of these properties are pinned by flow_test and
+// chaos_test on integer-only plans.
+
+#ifndef ISHARE_HARNESS_RESULT_COMPARE_H_
+#define ISHARE_HARNESS_RESULT_COMPARE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ishare/types/value.h"
+
+namespace ishare {
+
+inline bool RowsEquivalent(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_string() || b[i].is_string() ||
+        (a[i].is_int() && b[i].is_int())) {
+      if (!(a[i] == b[i])) return false;
+    } else {
+      double x = a[i].AsDouble(), y = b[i].AsDouble();
+      double scale = std::max({1.0, std::abs(x), std::abs(y)});
+      if (std::abs(x - y) > 1e-9 * scale) return false;
+    }
+  }
+  return true;
+}
+
+inline bool ResultsEquivalent(
+    const std::unordered_map<Row, int64_t, RowHasher>& a,
+    const std::unordered_map<Row, int64_t, RowHasher>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<std::pair<Row, int64_t>> unmatched(b.begin(), b.end());
+  for (const auto& [row, count] : a) {
+    bool found = false;
+    for (size_t i = 0; i < unmatched.size(); ++i) {
+      if (unmatched[i].second == count &&
+          RowsEquivalent(row, unmatched[i].first)) {
+        unmatched[i] = unmatched.back();
+        unmatched.pop_back();
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace ishare
+
+#endif  // ISHARE_HARNESS_RESULT_COMPARE_H_

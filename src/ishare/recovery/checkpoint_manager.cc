@@ -59,6 +59,28 @@ Status CheckpointManager::OnStepComplete(int64_t step,
 Status CheckpointManager::Checkpoint(int64_t step,
                                      const Checkpointable& target,
                                      bool commit) {
+  Status st = CheckpointImpl(step, target, commit);
+  // Health tracking: a failure anywhere (snapshot, stage, or commit)
+  // extends the failure streak; only a *committed* checkpoint ends it and
+  // advances last_commit_epoch — staged-only frames are invisible to
+  // recovery and so must be invisible to health too.
+  auto& reg = obs::Registry();
+  if (!st.ok()) {
+    stats_.consecutive_failures += 1;
+  } else if (commit) {
+    stats_.consecutive_failures = 0;
+    stats_.last_commit_epoch = step;
+    reg.GetGauge("recovery.checkpoint.last_commit_epoch")
+        .Set(static_cast<double>(step));
+  }
+  reg.GetGauge("recovery.checkpoint.consecutive_failures")
+      .Set(static_cast<double>(stats_.consecutive_failures));
+  return st;
+}
+
+Status CheckpointManager::CheckpointImpl(int64_t step,
+                                         const Checkpointable& target,
+                                         bool commit) {
   obs::ScopedSpan span("recovery.checkpoint.encode");
   CheckpointWriter payload;
   if (stats_.checkpoints > 0) {

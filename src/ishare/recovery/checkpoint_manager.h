@@ -67,6 +67,14 @@ struct RecoveryStats {
   int64_t budget_skipped = 0;  // epoch boundaries skipped by the budget
   int64_t store_retry_attempts = 0;  // extra attempts beyond the first
   double store_retry_backoff_seconds = 0;
+  // Checkpoint-health signals (DESIGN.md §11): the current streak of
+  // failed Checkpoint() calls (reset to 0 by the next committed one) and
+  // the epoch of the most recent successful commit (0 before any). Both
+  // are mirrored into the recovery.checkpoint.consecutive_failures /
+  // last_commit_epoch gauges and the JSON "recovery" block; the chaos
+  // Supervisor's checkpoint breaker feeds off the same signal.
+  int64_t consecutive_failures = 0;
+  int64_t last_commit_epoch = 0;
 };
 
 class CheckpointManager {
@@ -104,6 +112,8 @@ class CheckpointManager {
 
  private:
   double Now() const;
+  Status CheckpointImpl(int64_t step, const Checkpointable& target,
+                        bool commit);
 
   CheckpointStore* store_;
   CheckpointManagerOptions options_;

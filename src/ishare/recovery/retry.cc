@@ -7,6 +7,7 @@
 namespace ishare::recovery {
 
 double RetryPolicy::BackoffSeconds(int attempt) const {
+  attempt = std::max(attempt, 1);
   double backoff = base_backoff_seconds;
   for (int i = 1; i < attempt; ++i) backoff *= backoff_multiplier;
   backoff = std::min(backoff, max_backoff_seconds);

@@ -19,6 +19,9 @@ namespace ishare::recovery {
 
 struct RetryPolicy {
   // Total tries = 1 initial attempt + up to (max_attempts - 1) retries.
+  // Values < 1 are treated as 1: the initial attempt always runs, so a
+  // zero or negative budget cannot turn RetryTransient into "never call
+  // the operation" or an unbounded loop.
   int max_attempts = 4;
   double base_backoff_seconds = 0.001;
   double backoff_multiplier = 2.0;
@@ -28,10 +31,17 @@ struct RetryPolicy {
   double jitter = 0.25;
   uint64_t jitter_seed = 0x15eed;
 
+  int EffectiveMaxAttempts() const {
+    return max_attempts < 1 ? 1 : max_attempts;
+  }
+
   // True if `status` is transient and `attempt` (1-based count of tries
-  // already made) leaves budget for another try.
+  // already made) leaves budget for another try. The boundary is exact:
+  // attempt == EffectiveMaxAttempts() is the last try and never retries,
+  // so RetryTransient makes exactly EffectiveMaxAttempts() calls against
+  // a persistent transient fault, with one fewer backoff accruals.
   bool ShouldRetry(const Status& status, int attempt) const {
-    return status.IsTransient() && attempt < max_attempts;
+    return status.IsTransient() && attempt < EffectiveMaxAttempts();
   }
 
   // Jittered backoff before retry number `attempt` (attempt >= 1).

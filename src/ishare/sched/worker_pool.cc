@@ -28,6 +28,7 @@ WorkerPool::WorkerPool(int num_threads)
 
   obs::MetricsRegistry& reg = obs::Registry();
   tasks_counter_ = &reg.GetCounter("sched.pool.tasks");
+  delay_counter_ = &reg.GetCounter("sched.pool.injected_delays");
   steals_counter_ = &reg.GetCounter("sched.pool.steals");
   parallel_for_counter_ = &reg.GetCounter("sched.pool.parallel_for");
   idle_hist_ = &reg.GetHistogram("sched.pool.idle_seconds");
@@ -101,8 +102,34 @@ bool WorkerPool::TryRunOne(int self_id) {
     if (stolen) worker_steal_counters_[self_id]->Add(1);
   }
   if (stolen) steals_counter_->Add(1);
+  MaybeStall();
   task();
   return true;
+}
+
+void WorkerPool::InjectDelay(int64_t tasks, double seconds) {
+  delay_nanos_.store(
+      seconds > 0 ? static_cast<int64_t>(seconds * 1e9) : 0,
+      std::memory_order_relaxed);
+  delay_tasks_.store(tasks > 0 ? tasks : 0, std::memory_order_relaxed);
+}
+
+void WorkerPool::MaybeStall() {
+  int64_t d = delay_tasks_.load(std::memory_order_relaxed);
+  while (d > 0 && !delay_tasks_.compare_exchange_weak(
+                      d, d - 1, std::memory_order_relaxed)) {
+  }
+  if (d <= 0) return;
+  delay_counter_->Add(1);
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(delay_nanos_.load(std::memory_order_relaxed));
+  // Busy-yield rather than sleep: a stalled worker still holds its core
+  // from the scheduler's point of view, which is the straggler shape the
+  // help-while-waiting loop must absorb.
+  while (std::chrono::steady_clock::now() < until) {
+    std::this_thread::yield();
+  }
 }
 
 void WorkerPool::WorkerLoop(int worker_id) {

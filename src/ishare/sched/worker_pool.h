@@ -65,6 +65,20 @@ class WorkerPool {
   // may itself call ParallelFor on the same pool.
   void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
+  // Chaos hook (DESIGN.md §11): each of the next `tasks` dequeued pool
+  // tasks busy-waits for `seconds` of wall clock before running, modelling
+  // a stalled/descheduled worker. Results are unchanged by the pool's
+  // determinism contract — every index still runs exactly once — only
+  // timing and steal/idle accounting move, which is exactly what the
+  // chaos harness's bit-exactness gate verifies. A second call replaces
+  // any remaining delay budget; counted in sched.pool.injected_delays.
+  void InjectDelay(int64_t tasks, double seconds);
+
+  // Remaining injected-delay budget (tasks not yet stalled).
+  int64_t pending_delays() const {
+    return delay_tasks_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct ForState {
     int64_t n = 0;
@@ -78,6 +92,8 @@ class WorkerPool {
   void WorkerLoop(int worker_id);
   // Claims indices from `st` until exhausted, running them inline.
   void Drain(ForState* st);
+  // Consumes one unit of injected-delay budget, spinning if one was held.
+  void MaybeStall();
   // Pops one task (own deque back first, then steal a victim's front)
   // and runs it. Returns false when every deque is empty.
   bool TryRunOne(int self_id);
@@ -94,7 +110,13 @@ class WorkerPool {
   std::vector<std::deque<Task>> deques_;
   bool stop_ = false;
 
+  // Injected-delay budget (InjectDelay): remaining stalled tasks and the
+  // per-task stall length in nanoseconds.
+  std::atomic<int64_t> delay_tasks_{0};
+  std::atomic<int64_t> delay_nanos_{0};
+
   obs::Counter* tasks_counter_;
+  obs::Counter* delay_counter_;
   obs::Counter* steals_counter_;
   obs::Counter* parallel_for_counter_;
   obs::Histogram* idle_hist_;

@@ -267,6 +267,119 @@ TEST(CrashRecoveryAdaptive, CrashUnderTightConstraintsIsBitExact) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel kill-points (DESIGN.md §10/§11): crashes landing inside a
+// step's parallel execution at four worker threads. The kill fires after
+// one wave of the step has executed (and published buffers) while later
+// waves never run — recovery must restore a cut that hides the
+// half-finished step entirely.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryParallel, MidWaveKillsAreBitExactAtFourThreads) {
+  TestDb db(/*n_orders=*/120, /*n_customers=*/6);
+  SubplanGraph g = SubplanGraph::Build(MakeSharedDag(db.catalog));
+  PaceConfig paces = {2, 2, 4};
+  SourceFactory factory = MakeFactory(db);
+
+  // The shared DAG has two dependency levels ([agg], [root0, root1]); a
+  // step that schedules only one level has a single wave, so plans aimed
+  // at wave 1 there complete as controls. Both outcomes must match the
+  // baseline.
+  int crashed_runs = 0;
+  for (int64_t step = 1; step <= 4; ++step) {
+    for (int wave = 0; wave <= 1; ++wave) {
+      MemoryCheckpointStore store;
+      CrashRecoveryOptions opts;
+      opts.store = &store;
+      opts.exec.sched.num_threads = 4;
+      opts.plan.phase = CrashPhase::kMidWave;
+      opts.plan.step = step;
+      opts.plan.wave = wave;
+      Result<CrashRunReport> rep =
+          RunCrashRecoveryStatic(g, paces, factory, opts);
+      ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+      if (rep->crashed) ++crashed_runs;
+      ExpectEquivalent(*rep, "mid-wave step " + std::to_string(step) +
+                                 " wave " + std::to_string(wave));
+    }
+  }
+  // Most plans must actually land mid-step, not degrade to controls.
+  EXPECT_GE(crashed_runs, 4);
+}
+
+TEST(CrashRecoveryParallel, TornCheckpointWithParallelWavesIsInvisible) {
+  TestDb db(/*n_orders=*/120, /*n_customers=*/6);
+  SubplanGraph g = SubplanGraph::Build(MakeSharedDag(db.catalog));
+  SourceFactory factory = MakeFactory(db);
+
+  // The stage-then-die kill-point with the window running parallel waves:
+  // the torn frame was produced from state built by pool threads and must
+  // still be invisible to recovery.
+  MemoryCheckpointStore store;
+  CrashRecoveryOptions opts;
+  opts.store = &store;
+  opts.exec.sched.num_threads = 4;
+  opts.plan = {CrashPhase::kBetweenStageAndCommit, 3, 0};
+  Result<CrashRunReport> rep =
+      RunCrashRecoveryStatic(g, {2, 2, 4}, factory, opts);
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_TRUE(rep->crashed);
+  EXPECT_TRUE(rep->recovered_from_checkpoint);
+  EXPECT_EQ(rep->recovered_step, 2);
+  ExpectEquivalent(*rep, "parallel torn at step 3");
+}
+
+TEST(CrashRecoveryParallel, KillsDuringMorselFanOutAreBitExact) {
+  TestDb db(/*n_orders=*/200, /*n_customers=*/8);
+  SubplanGraph g = SubplanGraph::Build(MakeSharedDag(db.catalog));
+  SourceFactory factory = MakeFactory(db);
+
+  // morsel_min_tuples = 1 forces operator-level ParallelFor fan-out on
+  // every execution, so the kill interrupts a step whose operators were
+  // themselves running as pool morsels.
+  for (int64_t step = 2; step <= 3; ++step) {
+    MemoryCheckpointStore store;
+    CrashRecoveryOptions opts;
+    opts.store = &store;
+    opts.exec.sched.num_threads = 4;
+    opts.exec.sched.morsel_min_tuples = 1;
+    opts.plan.phase = CrashPhase::kMidWave;
+    opts.plan.step = step;
+    opts.plan.wave = 0;
+    Result<CrashRunReport> rep =
+        RunCrashRecoveryStatic(g, {2, 2, 4}, factory, opts);
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    EXPECT_TRUE(rep->crashed) << "step " << step;
+    ExpectEquivalent(*rep, "morsel fan-out step " + std::to_string(step));
+  }
+}
+
+TEST(CrashRecoveryParallel, AdaptiveMidWaveKillIsBitExact) {
+  TestDb db(/*n_orders=*/120, /*n_customers=*/6);
+  SubplanGraph g = SubplanGraph::Build(MakeSharedDag(db.catalog));
+  CostEstimator est(&g, &db.catalog);
+  SourceFactory factory = MakeFactory(db);
+  std::vector<double> abs(2, 1e18);
+  AdaptivePolicy policy;
+
+  int crashed_runs = 0;
+  for (int64_t step = 1; step <= 4; ++step) {
+    MemoryCheckpointStore store;
+    CrashRecoveryOptions opts;
+    opts.store = &store;
+    opts.exec.sched.num_threads = 4;
+    opts.plan.phase = CrashPhase::kMidWave;
+    opts.plan.step = step;
+    opts.plan.wave = 0;
+    Result<CrashRunReport> rep = RunCrashRecoveryAdaptive(
+        &est, {2, 2, 4}, abs, policy, factory, opts);
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    if (rep->crashed) ++crashed_runs;
+    ExpectEquivalent(*rep, "adaptive mid-wave step " + std::to_string(step));
+  }
+  EXPECT_GE(crashed_runs, 2);
+}
+
+// ---------------------------------------------------------------------------
 // Property test: randomized crash points over many seeds
 // ---------------------------------------------------------------------------
 
@@ -289,17 +402,23 @@ TEST(CrashRecoveryProperty, RandomizedCrashPointsMatchUninterruptedRun) {
     // the crash at (plans past the end degrade to no-crash controls).
     int64_t max_steps = *std::max_element(paces.begin(), paces.end());
     CrashPhase phases[] = {CrashPhase::kAfterStep, CrashPhase::kDuringSubplan,
-                           CrashPhase::kBetweenStageAndCommit};
+                           CrashPhase::kBetweenStageAndCommit,
+                           CrashPhase::kMidWave};
     CrashPlan plan;
-    plan.phase = phases[rng.UniformInt(0, 2)];
+    plan.phase = phases[rng.UniformInt(0, 3)];
     plan.step = rng.UniformInt(1, max_steps);
     plan.subplan = static_cast<int>(rng.UniformInt(0, 2));
+    plan.wave = static_cast<int>(rng.UniformInt(0, 1));
 
     MemoryCheckpointStore store;
     CrashRecoveryOptions opts;
     opts.store = &store;
     opts.plan = plan;
     opts.checkpoint.epoch_len = rng.UniformInt(1, 3);
+    // Mid-wave kills need the parallel path; other phases mix serial and
+    // parallel runs so both spines face every crash shape.
+    opts.exec.sched.num_threads =
+        (plan.phase == CrashPhase::kMidWave || rng.Bernoulli(0.3)) ? 4 : 1;
 
     Result<CrashRunReport> rep =
         RunCrashRecoveryStatic(g, paces, factory, opts);

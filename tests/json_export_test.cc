@@ -127,7 +127,7 @@ TEST(JsonExportGoldenTest, GoldenDocumentParsesBack) {
   ASSERT_TRUE(obs::ParseJson(GoldenDocument(), &v, &err)) << err;
   ASSERT_EQ(v.kind, obs::JsonValue::Kind::kObject);
   // Top-level key order is part of the schema contract.
-  ASSERT_GE(v.obj.size(), 9u);
+  ASSERT_GE(v.obj.size(), 11u);
   EXPECT_EQ(v.obj[0].first, "schema_version");
   EXPECT_EQ(v.obj[1].first, "generator");
   EXPECT_EQ(v.obj[2].first, "bench");
@@ -136,18 +136,22 @@ TEST(JsonExportGoldenTest, GoldenDocumentParsesBack) {
   EXPECT_EQ(v.obj[5].first, "recovery");
   EXPECT_EQ(v.obj[6].first, "flow");
   EXPECT_EQ(v.obj[7].first, "sched");
-  EXPECT_EQ(v.obj[8].first, "metrics");
-  EXPECT_EQ(v.obj[9].first, "spans");
-  EXPECT_DOUBLE_EQ(v.Find("schema_version")->num, 4.0);
+  EXPECT_EQ(v.obj[8].first, "chaos");
+  EXPECT_EQ(v.obj[9].first, "metrics");
+  EXPECT_EQ(v.obj[10].first, "spans");
+  EXPECT_DOUBLE_EQ(v.Find("schema_version")->num, 5.0);
   EXPECT_DOUBLE_EQ(v.Find("config")->Find("threads")->num, 4.0);
 
   // The recovery rollup is present (all zeros here: the hand-crafted
-  // snapshot has no recovery.* counters) with a stable key set.
+  // snapshot has no recovery.* counters) with a stable key set. v5 added
+  // the two checkpoint-health keys at the end.
   const obs::JsonValue* rec = v.Find("recovery");
   ASSERT_NE(rec, nullptr);
-  ASSERT_EQ(rec->obj.size(), 9u);
+  ASSERT_EQ(rec->obj.size(), 11u);
   EXPECT_EQ(rec->obj[0].first, "checkpoints");
   EXPECT_EQ(rec->obj[8].first, "retry_backoff_seconds");
+  EXPECT_EQ(rec->obj[9].first, "consecutive_failures");
+  EXPECT_EQ(rec->obj[10].first, "last_commit_epoch");
   EXPECT_DOUBLE_EQ(rec->Find("checkpoints")->num, 0.0);
 
   // v3: the flow overload-control rollup, same always-present contract.
@@ -174,6 +178,24 @@ TEST(JsonExportGoldenTest, GoldenDocumentParsesBack) {
   EXPECT_EQ(sched->obj[2].first, "parallel_fors");
   EXPECT_EQ(sched->obj[3].first, "step_waves");
   EXPECT_DOUBLE_EQ(sched->Find("pool_tasks")->num, 0.0);
+
+  // v5: the chaos/supervision rollup, same always-present contract
+  // (zeros here: the hand-crafted snapshot has no chaos.* metrics).
+  const obs::JsonValue* chaos = v.Find("chaos");
+  ASSERT_NE(chaos, nullptr);
+  ASSERT_EQ(chaos->obj.size(), 10u);
+  EXPECT_EQ(chaos->obj[0].first, "service_level");
+  EXPECT_EQ(chaos->obj[1].first, "ladder_transitions");
+  EXPECT_EQ(chaos->obj[2].first, "breaker_trips");
+  EXPECT_EQ(chaos->obj[3].first, "breaker_half_opens");
+  EXPECT_EQ(chaos->obj[4].first, "breaker_closes");
+  EXPECT_EQ(chaos->obj[5].first, "faults_injected");
+  EXPECT_EQ(chaos->obj[6].first, "checkpoints_skipped");
+  EXPECT_EQ(chaos->obj[7].first, "checkpoints_stretched");
+  EXPECT_EQ(chaos->obj[8].first, "defer_signals");
+  EXPECT_EQ(chaos->obj[9].first, "safe_stops");
+  EXPECT_DOUBLE_EQ(chaos->Find("service_level")->num, 0.0);
+  EXPECT_DOUBLE_EQ(chaos->Find("breaker_trips")->num, 0.0);
 }
 
 TEST(JsonExportTest, RealExperimentExportRoundTrips) {

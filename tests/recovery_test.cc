@@ -363,6 +363,58 @@ TEST(RetryTransientTest, ExhaustedBudgetReturnsLastTransientError) {
   EXPECT_EQ(calls, 3);
 }
 
+TEST(RetryTransientTest, MaxAttemptBoundaryIsExact) {
+  // The off-by-one contract pinned down: against a persistent transient
+  // fault, RetryTransient makes exactly EffectiveMaxAttempts() calls and
+  // accrues exactly one fewer backoffs (no backoff after the final try).
+  for (int budget = 1; budget <= 5; ++budget) {
+    RetryPolicy p;
+    p.max_attempts = budget;
+    int calls = 0, attempts = 0;
+    double backoff = 0;
+    Status st = RetryTransient(
+        p,
+        [&calls]() {
+          ++calls;
+          return Status::Unavailable("never up");
+        },
+        &attempts, &backoff);
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable) << "budget " << budget;
+    EXPECT_EQ(calls, budget);
+    EXPECT_EQ(attempts, budget);
+    double expected = 0;
+    for (int a = 1; a < budget; ++a) expected += p.BackoffSeconds(a);
+    EXPECT_DOUBLE_EQ(backoff, expected) << "budget " << budget;
+  }
+}
+
+TEST(RetryTransientTest, NonPositiveBudgetStillMakesTheInitialAttempt) {
+  // max_attempts < 1 must mean "one try, zero retries" — never "no call"
+  // and never an unbounded loop.
+  for (int budget : {0, -1, -100}) {
+    RetryPolicy p;
+    p.max_attempts = budget;
+    EXPECT_EQ(p.EffectiveMaxAttempts(), 1);
+    EXPECT_FALSE(p.ShouldRetry(Status::Unavailable("x"), 1));
+    int calls = 0;
+    double backoff = 0;
+    Status st = RetryTransient(
+        p,
+        [&calls]() {
+          ++calls;
+          return Status::Unavailable("down");
+        },
+        nullptr, &backoff);
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable) << "budget " << budget;
+    EXPECT_EQ(calls, 1) << "budget " << budget;
+    EXPECT_EQ(backoff, 0.0) << "no backoff after the only try";
+    // BackoffSeconds clamps non-positive attempts instead of feeding a
+    // zero exponent garbage.
+    EXPECT_GT(p.BackoffSeconds(0), 0.0);
+    EXPECT_EQ(p.BackoffSeconds(0), p.BackoffSeconds(1));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Checkpoint manager
 // ---------------------------------------------------------------------------
@@ -530,6 +582,50 @@ TEST(CheckpointManagerTest, PermanentStoreFaultFailsCheckpoint) {
   store.InjectWriteFault(Status::Internal("disk on fire"), -1);
   CounterState state;
   EXPECT_EQ(mgr.Checkpoint(1, state).code(), StatusCode::kInternal);
+}
+
+TEST(CheckpointManagerTest, HealthSignalsTrackFailuresAndCommits) {
+  // Checkpoint health (DESIGN.md §11): consecutive_failures counts the
+  // current streak of failed Checkpoint() calls and resets on the next
+  // commit; last_commit_epoch tracks the newest committed epoch.
+  MemoryCheckpointStore store;
+  CheckpointManagerOptions opts;
+  opts.epoch_len = 1;
+  opts.overhead_budget = 0;
+  opts.store_retry.max_attempts = 1;  // every injected fault is fatal
+  CheckpointManager mgr(&store, opts);
+  CounterState state;
+
+  EXPECT_EQ(mgr.stats().consecutive_failures, 0);
+  EXPECT_EQ(mgr.stats().last_commit_epoch, 0);
+
+  ASSERT_TRUE(mgr.Checkpoint(1, state).ok());
+  EXPECT_EQ(mgr.stats().consecutive_failures, 0);
+  EXPECT_EQ(mgr.stats().last_commit_epoch, 1);
+
+  store.InjectWriteFault(Status::Unavailable("outage"), 2);
+  EXPECT_FALSE(mgr.Checkpoint(2, state).ok());
+  EXPECT_EQ(mgr.stats().consecutive_failures, 1);
+  EXPECT_FALSE(mgr.Checkpoint(3, state).ok());
+  EXPECT_EQ(mgr.stats().consecutive_failures, 2);
+  EXPECT_EQ(mgr.stats().last_commit_epoch, 1) << "failed epochs don't count";
+
+  ASSERT_TRUE(mgr.Checkpoint(4, state).ok());
+  EXPECT_EQ(mgr.stats().consecutive_failures, 0) << "streak resets on commit";
+  EXPECT_EQ(mgr.stats().last_commit_epoch, 4);
+}
+
+TEST(CheckpointManagerTest, StagedOnlyCheckpointDoesNotAdvanceHealth) {
+  // commit = false stages without publishing; the health signals must not
+  // claim an epoch that recovery can never see.
+  MemoryCheckpointStore store;
+  CheckpointManager mgr(&store);
+  CounterState state;
+  ASSERT_TRUE(mgr.Checkpoint(2, state, /*commit=*/false).ok());
+  EXPECT_EQ(mgr.stats().last_commit_epoch, 0);
+  EXPECT_EQ(mgr.stats().consecutive_failures, 0);
+  ASSERT_TRUE(mgr.Checkpoint(4, state).ok());
+  EXPECT_EQ(mgr.stats().last_commit_epoch, 4);
 }
 
 // ---------------------------------------------------------------------------
