@@ -25,17 +25,21 @@ case "$mode" in
     # the DeltaBuffer concurrent-append regression (storage_test), and
     # the chaos suite whose worker-stall injection and mid-wave crash
     # cycles run parallel waves under fault (chaos_test,
-    # crash_recovery_test). Running the whole serial suite under tsan
-    # would cost ~10x wall clock without exercising a single
+    # crash_recovery_test), and the columnar-vs-row equivalence property
+    # whose 4-thread seeds drive the columnar pump through the morsel
+    # scheduler (columnar_test). Running the whole serial suite under
+    # tsan would cost ~10x wall clock without exercising a single
     # cross-thread access.
     cmake --preset tsan
     cmake --build --preset tsan -j "$(nproc)" \
-      --target sched_test flow_test storage_test chaos_test crash_recovery_test
+      --target sched_test flow_test storage_test chaos_test \
+      crash_recovery_test columnar_test
     ./build-tsan/tests/sched_test
     ./build-tsan/tests/flow_test
     ./build-tsan/tests/storage_test
     ./build-tsan/tests/chaos_test
     ./build-tsan/tests/crash_recovery_test
+    ./build-tsan/tests/columnar_test --gtest_filter='ColumnarEquivalence.*'
     ;;
   bench)
     cmake --preset default
@@ -43,6 +47,7 @@ case "$mode" in
       --target bench_robustness bench_operators bench_obs_overhead bench_recovery bench_overload bench_chaos
     ./build/bench/bench_robustness --quick
     ./build/bench/bench_operators --benchmark_filter=ConsumeZeroCopy --benchmark_min_time=0.05
+    ./build/bench/bench_operators --speedup_gate
     ./build/bench/bench_obs_overhead --quick
     ./build/bench/bench_recovery --quick
     ./build/bench/bench_overload --quick

@@ -1,0 +1,106 @@
+// Flat open-addressing integer hash index for the vectorized fast paths
+// (DESIGN.md §12.5). Maps int64 keys to dense ids [0, n) with linear
+// probing over a power-of-two slot array and an xxhash-style avalanche
+// finalizer — the flat_hash_map/robin_map idiom of the parallel-groupby
+// exemplar, specialized to the only thing the columnar kernels need:
+// find-or-insert returning a dense id to index accumulator arrays.
+
+#ifndef ISHARE_COMMON_FLAT_HASH_H_
+#define ISHARE_COMMON_FLAT_HASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ishare/common/check.h"
+
+namespace ishare {
+
+// xxhash64-style avalanche mix (XXH64 finalizer primes). Distinct from
+// Mix64 (splitmix64) used for Value/Row hashing so the flat tables and
+// the generic unordered_map paths never share collision structure.
+inline uint64_t XxMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xc2b2ae3d27d4eb4fULL;
+  x ^= x >> 29;
+  x *= 0x165667b19e3779f9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+// Open-addressing map from int64 key to dense id, assigned in first-touch
+// order. No erase (the kernels only grow an index within a window; dead
+// groups are skipped at emission). Load factor is kept under ~0.7 by
+// doubling the slot array.
+class FlatIndexI64 {
+ public:
+  explicit FlatIndexI64(int64_t expected_keys = 0) {
+    int64_t cap = 16;
+    while (cap < expected_keys * 2) cap <<= 1;
+    slots_.assign(static_cast<size_t>(cap), -1);
+    mask_ = static_cast<uint64_t>(cap - 1);
+  }
+
+  // Dense id of `key`, inserting the next id if absent.
+  int32_t FindOrInsert(int64_t key) {
+    uint64_t h = XxMix64(static_cast<uint64_t>(key)) & mask_;
+    for (;;) {
+      int32_t id = slots_[h];
+      if (id < 0) {
+        int32_t fresh = static_cast<int32_t>(keys_.size());
+        slots_[h] = fresh;
+        keys_.push_back(key);
+        if (keys_.size() * 10 >= slots_.size() * 7) Grow();
+        return fresh;
+      }
+      if (keys_[static_cast<size_t>(id)] == key) return id;
+      h = (h + 1) & mask_;
+    }
+  }
+
+  // Dense id of `key`, or -1 if absent.
+  int32_t Find(int64_t key) const {
+    uint64_t h = XxMix64(static_cast<uint64_t>(key)) & mask_;
+    for (;;) {
+      int32_t id = slots_[h];
+      if (id < 0) return -1;
+      if (keys_[static_cast<size_t>(id)] == key) return id;
+      h = (h + 1) & mask_;
+    }
+  }
+
+  int64_t size() const { return static_cast<int64_t>(keys_.size()); }
+
+  // Dense key array; keys_[id] is the key of dense id `id` (first-touch
+  // order, the order accumulator arrays are laid out in).
+  const std::vector<int64_t>& keys() const { return keys_; }
+
+  void Clear() {
+    keys_.clear();
+    slots_.assign(slots_.size(), -1);
+  }
+
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(slots_.size() * sizeof(int32_t) +
+                                keys_.size() * sizeof(int64_t));
+  }
+
+ private:
+  void Grow() {
+    size_t cap = slots_.size() * 2;
+    slots_.assign(cap, -1);
+    mask_ = static_cast<uint64_t>(cap - 1);
+    for (size_t id = 0; id < keys_.size(); ++id) {
+      uint64_t h = XxMix64(static_cast<uint64_t>(keys_[id])) & mask_;
+      while (slots_[h] >= 0) h = (h + 1) & mask_;
+      slots_[h] = static_cast<int32_t>(id);
+    }
+  }
+
+  std::vector<int32_t> slots_;  // -1 = empty, else dense id
+  std::vector<int64_t> keys_;   // dense id -> key
+  uint64_t mask_ = 0;
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_COMMON_FLAT_HASH_H_

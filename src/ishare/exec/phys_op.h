@@ -12,8 +12,10 @@
 
 #include "ishare/common/status.h"
 #include "ishare/exec/metrics.h"
+#include "ishare/expr/vector_expr.h"
 #include "ishare/plan/plan.h"
 #include "ishare/recovery/serializer.h"
+#include "ishare/storage/column_batch.h"
 #include "ishare/storage/delta.h"
 
 namespace ishare {
@@ -36,6 +38,27 @@ class PhysOp {
 
   // Processes one delta batch arriving from child `child_idx`.
   virtual DeltaBatch Process(int child_idx, DeltaSpan in) = 0;
+
+  // ---- Columnar fast path (DESIGN.md §12) -------------------------------
+  // True when ProcessColumnar has a real vectorized implementation for
+  // input `child_idx`. The columnar pump only routes batches through
+  // ProcessColumnar when this returns true; everything else stays on the
+  // row interface above, which remains the engine's compatibility shim
+  // (buffers, checkpoints, flow trimming and morsel partitioning all
+  // keep speaking rows).
+  virtual bool SupportsColumnar(int child_idx) const {
+    (void)child_idx;
+    return false;
+  }
+
+  // Processes one column batch from child `child_idx`. Must produce, for
+  // the selected rows, exactly the deltas (values, query sets, weights,
+  // order) that Process would for the same input, and meter identical
+  // OpWork. The default is the row shim: convert, Process, convert back —
+  // it exists so tests can drive any operator columnar, but the pump
+  // never uses it (SupportsColumnar is false unless overridden).
+  virtual void ProcessColumnar(int child_idx, ColumnBatch in,
+                               ColumnBatch* out);
 
   // Offers the operator a worker pool for morsel-driven intra-operator
   // parallelism (DESIGN.md §10). Called once by SubplanExecutor after
@@ -98,6 +121,9 @@ class ScanOp : public PhysOp {
  public:
   explicit ScanOp(const PlanNode* node) : PhysOp(node) {}
   DeltaBatch Process(int child_idx, DeltaSpan in) override;
+  bool SupportsColumnar(int child_idx) const override;
+  void ProcessColumnar(int child_idx, ColumnBatch in,
+                       ColumnBatch* out) override;
 };
 
 // Masks tuples pulled from a child subplan's buffer down to this subplan's
@@ -106,32 +132,50 @@ class SubplanInputOp : public PhysOp {
  public:
   explicit SubplanInputOp(const PlanNode* node) : PhysOp(node) {}
   DeltaBatch Process(int child_idx, DeltaSpan in) override;
+  bool SupportsColumnar(int child_idx) const override;
+  void ProcessColumnar(int child_idx, ColumnBatch in,
+                       ColumnBatch* out) override;
 };
 
 // Shared select: evaluates each distinct predicate once per tuple and
 // clears the query bits whose predicate rejects the tuple (marking select
-// σ*). Tuples with no surviving bits are dropped.
+// σ*). Tuples with no surviving bits are dropped. The columnar path
+// evaluates each predicate as one vectorized mask over the whole batch
+// and clears query bits branch-free.
 class FilterOp : public PhysOp {
  public:
   FilterOp(const PlanNode* node, const Schema& input_schema);
   DeltaBatch Process(int child_idx, DeltaSpan in) override;
+  bool SupportsColumnar(int child_idx) const override;
+  void ProcessColumnar(int child_idx, ColumnBatch in,
+                       ColumnBatch* out) override;
 
  private:
   struct PredGroup {
     CompiledExpr pred;
+    VectorExpr vpred;
     QuerySet queries;
   };
   std::vector<PredGroup> groups_;
+  bool columnar_ok_ = true;  // every predicate vector-compiled
 };
 
-// Computes the merged projection list (union over sharing queries).
+// Computes the merged projection list (union over sharing queries). The
+// columnar path evaluates each projection as one vectorized kernel over
+// the whole batch and passes query sets, weights and selection through
+// untouched.
 class ProjectOp : public PhysOp {
  public:
   ProjectOp(const PlanNode* node, const Schema& input_schema);
   DeltaBatch Process(int child_idx, DeltaSpan in) override;
+  bool SupportsColumnar(int child_idx) const override;
+  void ProcessColumnar(int child_idx, ColumnBatch in,
+                       ColumnBatch* out) override;
 
  private:
   std::vector<CompiledExpr> exprs_;
+  std::vector<VectorExpr> vexprs_;
+  bool columnar_ok_ = true;  // every projection vector-compiled
 };
 
 // Builds the physical operator tree for a subplan's plan tree. Leaves

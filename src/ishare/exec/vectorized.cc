@@ -1,0 +1,105 @@
+#include "ishare/exec/vectorized.h"
+
+namespace ishare {
+
+void ColumnarHashAgg::Choose(const int64_t* keys, int64_t n) {
+  decided_ = true;
+  if (strategy_ != AggStrategy::kAuto) {
+    chosen_ = strategy_;
+  } else {
+    // Sample the head of the first batch: when most sampled keys are
+    // distinct the table will outgrow cache, so partition first.
+    int64_t sample = n < kSampleRows ? n : kSampleRows;
+    FlatIndexI64 probe(sample);
+    for (int64_t i = 0; i < sample; ++i) probe.FindOrInsert(keys[i]);
+    chosen_ = (probe.size() * 2 > sample && sample >= 64)
+                  ? AggStrategy::kPartitioned
+                  : AggStrategy::kFlat;
+  }
+  if (chosen_ == AggStrategy::kPartitioned) {
+    parts_.resize(size_t{1} << kPartitionBits);
+  }
+}
+
+void ColumnarHashAgg::ConsumeFlat(const int64_t* keys, const double* vals,
+                                  const int32_t* weights, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t id = index_.FindOrInsert(keys[i]);
+    if (static_cast<size_t>(id) >= sums_.size()) sums_.resize(id + 1, 0.0);
+    double v = vals[i];
+    if (weights != nullptr) v *= static_cast<double>(weights[i]);
+    sums_[static_cast<size_t>(id)] += v;
+  }
+}
+
+void ColumnarHashAgg::Consume(const int64_t* keys, const double* vals,
+                              const int32_t* weights, int64_t n) {
+  if (!decided_) Choose(keys, n);
+  if (chosen_ == AggStrategy::kFlat) {
+    ConsumeFlat(keys, vals, weights, n);
+    return;
+  }
+  // Phase one: scatter rows to partitions in input order. High hash bits
+  // pick the partition; the per-partition tables use the low bits, so
+  // partitioning never degrades their probe distribution.
+  for (int64_t i = 0; i < n; ++i) {
+    uint64_t h = XxMix64(static_cast<uint64_t>(keys[i]));
+    Partition& p = parts_[h >> (64 - kPartitionBits)];
+    p.keys.push_back(keys[i]);
+    double v = vals[i];
+    if (weights != nullptr) v *= static_cast<double>(weights[i]);
+    p.vals.push_back(v);
+  }
+}
+
+void ColumnarHashAgg::Finish() {
+  if (finished_ || chosen_ != AggStrategy::kPartitioned) {
+    finished_ = true;
+    return;
+  }
+  finished_ = true;
+  // Phase two: aggregate each partition with a table sized to it. A group
+  // lives in exactly one partition and each partition preserved input
+  // order, so every group's sum sees the same update sequence as kFlat.
+  for (Partition& p : parts_) {
+    const int64_t pn = static_cast<int64_t>(p.keys.size());
+    for (int64_t i = 0; i < pn; ++i) {
+      int32_t id = index_.FindOrInsert(p.keys[i]);
+      if (static_cast<size_t>(id) >= sums_.size()) sums_.resize(id + 1, 0.0);
+      sums_[static_cast<size_t>(id)] += p.vals[i];
+    }
+    p.keys.clear();
+    p.keys.shrink_to_fit();
+    p.vals.clear();
+    p.vals.shrink_to_fit();
+  }
+}
+
+void ColumnarHashJoin::Build(const int64_t* keys, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t row = static_cast<int32_t>(next_.size());
+    int32_t id = index_.FindOrInsert(keys[i]);
+    if (static_cast<size_t>(id) >= head_.size()) head_.resize(id + 1, -1);
+    next_.push_back(head_[static_cast<size_t>(id)]);
+    head_[static_cast<size_t>(id)] = row;
+  }
+}
+
+int64_t ColumnarHashJoin::Probe(const int64_t* keys, int64_t n,
+                                std::vector<int32_t>* build_out,
+                                std::vector<int32_t>* probe_out) const {
+  int64_t emitted = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    int32_t id = index_.Find(keys[i]);
+    if (id < 0) continue;
+    for (int32_t row = head_[static_cast<size_t>(id)]; row >= 0;
+         row = next_[static_cast<size_t>(row)]) {
+      build_out->push_back(row);
+      probe_out->push_back(static_cast<int32_t>(i));
+      ++emitted;
+    }
+  }
+  return emitted;
+}
+
+}  // namespace ishare

@@ -1,0 +1,104 @@
+// Vectorized hash kernels for the columnar execution core (DESIGN.md
+// §12.5): integer-key hash aggregation with two-phase adaptive strategy
+// selection, and hash-join build/probe over flat open-addressing tables.
+// These are the dense fast paths the bench_operators speedup gate
+// measures against the row engine's tagged-Value hash maps. The stateful
+// operators (AggregateOp, HashJoinOp) keep their row implementations —
+// their cross-execution state is checkpoint-serialized and must stay
+// layout-stable — and use these kernels' idioms only where bit-exactness
+// is provable; the kernels themselves serve single-execution dense
+// workloads (and the microbenches that gate the refactor).
+
+#ifndef ISHARE_EXEC_VECTORIZED_H_
+#define ISHARE_EXEC_VECTORIZED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ishare/common/flat_hash.h"
+
+namespace ishare {
+
+// Aggregation strategy (the `adaptive-alg` idiom the roadmap cites):
+//  - kFlat: one open-addressing table, best when groups are few and hot.
+//  - kPartitioned: radix-partition rows by key hash first, then build one
+//    small table per partition — bounds each table's working set when
+//    group cardinality is high, trading one extra sequential pass.
+//  - kAuto: sample the first batch's key column and pick.
+enum class AggStrategy { kAuto, kFlat, kPartitioned };
+
+// Incremental SUM(value) GROUP BY int64-key with weighted updates.
+// Per-group sums accumulate in input order under every strategy (a radix
+// partition scans rows sequentially and a group lives in exactly one
+// partition), so all three strategies produce bit-identical float sums —
+// the same argument the morsel-parallel row aggregate makes (DESIGN.md
+// §10), applied to partitioning.
+class ColumnarHashAgg {
+ public:
+  explicit ColumnarHashAgg(AggStrategy strategy = AggStrategy::kAuto)
+      : strategy_(strategy) {}
+
+  // Consumes one batch: sums[key] += vals[i] * weights[i] for each row.
+  // `weights` may be nullptr (all 1).
+  void Consume(const int64_t* keys, const double* vals,
+               const int32_t* weights, int64_t n);
+
+  // Completes phase two (merging partition tables into the dense result
+  // arrays). Idempotent; call before reading results.
+  void Finish();
+
+  // Result arrays, aligned by index. Keys appear in first-touch order for
+  // kFlat; partition-major first-touch order for kPartitioned.
+  const std::vector<int64_t>& keys() const { return index_.keys(); }
+  const std::vector<double>& sums() const { return sums_; }
+
+  // Strategy actually in effect (resolved from kAuto on first Consume).
+  AggStrategy chosen() const { return chosen_; }
+
+ private:
+  void ConsumeFlat(const int64_t* keys, const double* vals,
+                   const int32_t* weights, int64_t n);
+  void Choose(const int64_t* keys, int64_t n);
+
+  static constexpr int kPartitionBits = 4;  // 16 partitions
+  static constexpr int64_t kSampleRows = 1024;
+  struct Partition {
+    std::vector<int64_t> keys;
+    std::vector<double> vals;
+  };
+
+  AggStrategy strategy_;
+  AggStrategy chosen_ = AggStrategy::kFlat;
+  bool decided_ = false;
+  bool finished_ = false;
+  FlatIndexI64 index_;
+  std::vector<double> sums_;
+  std::vector<Partition> parts_;
+};
+
+// Hash-join build/probe over an int64 key column. Duplicates chain
+// through a per-row next array; Probe emits (build_row, probe_row) index
+// pairs, most-recent build row first per key (pair order is the caller's
+// concern — the shared-join operator groups matches per weight anyway).
+class ColumnarHashJoin {
+ public:
+  // Appends build rows; row ids continue across calls.
+  void Build(const int64_t* keys, int64_t n);
+
+  // Emits all matches for the probe batch into *build_out / *probe_out
+  // (appending); returns the number of pairs emitted.
+  int64_t Probe(const int64_t* keys, int64_t n,
+                std::vector<int32_t>* build_out,
+                std::vector<int32_t>* probe_out) const;
+
+  int64_t build_rows() const { return static_cast<int64_t>(next_.size()); }
+
+ private:
+  FlatIndexI64 index_;
+  std::vector<int32_t> head_;  // dense key id -> newest build row, -1 none
+  std::vector<int32_t> next_;  // build row -> older row with same key, -1 end
+};
+
+}  // namespace ishare
+
+#endif  // ISHARE_EXEC_VECTORIZED_H_

@@ -155,7 +155,9 @@ std::string BenchReportJson(
   //     §10).
   // v5: added the top-level "chaos" block and the recovery block's
   //     checkpoint-health keys (DESIGN.md §11).
-  w.Int(5);
+  // v6: added the top-level "exec" block with the columnar/row batch
+  //     routing counters (DESIGN.md §12).
+  w.Int(6);
   w.Key("generator");
   w.String("ishare");
   w.Key("bench");
@@ -248,6 +250,24 @@ std::string BenchReportJson(
   SafeNumber(w, CounterOr0(metrics, "sched.pool.parallel_for"));
   w.Key("step_waves");
   SafeNumber(w, CounterOr0(metrics, "sched.step.waves"));
+  w.EndObject();
+
+  // Execution-path rollup, from the exec.path.* metrics (DESIGN.md §12):
+  // how many delta batches (and their tuples) rode the columnar pump vs
+  // the row interface. Both are zero only when nothing executed; a pure
+  // row run (ExecOptions::columnar = false, or a plan whose operators
+  // all decline SupportsColumnar) reports only row batches. Kept
+  // unconditionally, like the other rollups, so the schema is stable.
+  w.Key("exec");
+  w.BeginObject();
+  w.Key("columnar_batches");
+  SafeNumber(w, CounterOr0(metrics, "exec.path.columnar_batches"));
+  w.Key("columnar_tuples");
+  SafeNumber(w, CounterOr0(metrics, "exec.path.columnar_tuples"));
+  w.Key("row_batches");
+  SafeNumber(w, CounterOr0(metrics, "exec.path.row_batches"));
+  w.Key("row_tuples");
+  SafeNumber(w, CounterOr0(metrics, "exec.path.row_tuples"));
   w.EndObject();
 
   // Chaos/supervision rollup, from the chaos.* metrics (DESIGN.md §11).

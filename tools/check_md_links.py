@@ -4,7 +4,14 @@
 Scope is deliberately narrow so CI needs no network: only inline links
 and images whose target is a relative path are verified against the
 working tree. http(s)/mailto targets and pure #fragment anchors are
-skipped. Exit status is the number of broken links (capped at 1).
+skipped.
+
+Additionally cross-checks EXPERIMENTS.md against the bench binaries:
+every `.../bench/bench_<name>` command mentioned must correspond to a
+`bench/bench_<name>.cc` source (the binary name equals the source stem),
+and every bench source must be mentioned at least once — so the command
+index can neither drift ahead of the build nor silently omit a bench.
+Exit status is the number of problems (capped at 1).
 """
 
 import os
@@ -19,6 +26,10 @@ SKIP_DIRS = {".git", "build", "build-asan", "build-noobs", "third_party"}
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 # Fenced code blocks are stripped before link extraction.
 FENCE_RE = re.compile(r"^(```|~~~)")
+# Bench invocations: `./build/bench/bench_foo`, `build-asan/bench/bench_foo`.
+# These appear in tables AND fenced command blocks, so the whole file is
+# scanned (unlike links, where fences are skipped).
+BENCH_RE = re.compile(r"[\w.-]*build[\w-]*/bench/(bench_\w+)")
 
 
 def markdown_files():
@@ -42,6 +53,35 @@ def links_in(path):
                 yield lineno, m.group(1)
 
 
+def check_bench_index():
+    """EXPERIMENTS.md command-index entries <-> bench/*.cc sources."""
+    problems = []
+    experiments = os.path.join(ROOT, "EXPERIMENTS.md")
+    bench_dir = os.path.join(ROOT, "bench")
+    if not os.path.exists(experiments) or not os.path.isdir(bench_dir):
+        return problems
+    sources = {
+        name[:-len(".cc")]
+        for name in os.listdir(bench_dir)
+        if name.startswith("bench_") and name.endswith(".cc")
+    }
+    mentioned = {}
+    with open(experiments, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for m in BENCH_RE.finditer(line):
+                mentioned.setdefault(m.group(1), lineno)
+    for name, lineno in sorted(mentioned.items()):
+        if name not in sources:
+            problems.append(
+                f"EXPERIMENTS.md:{lineno}: references {name} but "
+                f"bench/{name}.cc does not exist")
+    for name in sorted(sources - set(mentioned)):
+        problems.append(
+            f"EXPERIMENTS.md: bench/{name}.cc has no command-index entry "
+            f"(no build/bench/{name} mention)")
+    return problems
+
+
 def main():
     broken = []
     for md in markdown_files():
@@ -57,11 +97,13 @@ def main():
             if not os.path.exists(resolved):
                 rel_md = os.path.relpath(md, ROOT)
                 broken.append(f"{rel_md}:{lineno}: broken link -> {target}")
-    for b in broken:
+    bench_problems = check_bench_index()
+    for b in broken + bench_problems:
         print(b)
     count = sum(1 for md in markdown_files())
-    print(f"checked {count} markdown files, {len(broken)} broken links")
-    return 1 if broken else 0
+    print(f"checked {count} markdown files, {len(broken)} broken links, "
+          f"{len(bench_problems)} bench-index problems")
+    return 1 if (broken or bench_problems) else 0
 
 
 if __name__ == "__main__":
